@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure (at a reduced scale so
+the suite stays fast) and asserts its paper-claim checks still pass —
+pytest-benchmark times the *simulation harness* (wall clock); the
+scientific output is the virtual-time series inside the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get
+
+
+@pytest.fixture
+def run_experiment():
+    """Run a registered experiment and assert its checks."""
+
+    def _run(exp_id: str, *, scale: float, seed: int = 0):
+        result = get(exp_id).run(scale=scale, seed=seed)
+        failed = [c for c in result.checks if not c.passed]
+        assert not failed, (
+            f"{exp_id} checks failed: " + "; ".join(str(c) for c in failed))
+        return result
+
+    return _run

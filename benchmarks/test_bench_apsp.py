@@ -1,0 +1,18 @@
+"""Benchmarks regenerating the APSP figures: Figs. 12, 13 and 15."""
+
+SCALE = 0.3
+
+
+def test_fig12(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig12", scale=SCALE)
+    assert result.passed
+
+
+def test_fig13(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig13", scale=SCALE)
+    assert result.passed
+
+
+def test_fig15(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig15", scale=SCALE)
+    assert result.passed

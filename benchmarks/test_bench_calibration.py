@@ -1,0 +1,29 @@
+"""Benchmarks regenerating the microbenchmark artifacts:
+Table 1 and Figs. 1, 2, 7, 14."""
+
+SCALE = 0.3
+
+
+def test_table1(benchmark, run_experiment):
+    result = benchmark(run_experiment, "table1", scale=SCALE)
+    assert result.passed
+
+
+def test_fig1(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig1", scale=SCALE)
+    assert result.get("fit g*h+L").ys[-1] > result.get("fit g*h+L").ys[0]
+
+
+def test_fig2(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig2", scale=SCALE)
+    assert result.passed
+
+
+def test_fig7(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig7", scale=SCALE)
+    assert result.passed
+
+
+def test_fig14(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig14", scale=SCALE)
+    assert result.passed

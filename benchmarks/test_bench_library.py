@@ -1,0 +1,64 @@
+"""Benchmarks regenerating the library-comparison figures (Figs. 19, 20)
+and the ablations."""
+
+SCALE = 0.3
+
+
+def test_fig19(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig19", scale=SCALE)
+    assert result.passed
+
+
+def test_fig20(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig20", scale=SCALE)
+    assert result.passed
+
+
+def test_abl_stagger(benchmark, run_experiment):
+    result = benchmark(run_experiment, "abl-stagger", scale=SCALE)
+    assert result.passed
+
+
+def test_abl_msgsize(benchmark, run_experiment):
+    result = benchmark(run_experiment, "abl-msgsize", scale=SCALE)
+    assert result.passed
+
+
+def test_abl_sync(benchmark, run_experiment):
+    result = benchmark(run_experiment, "abl-sync", scale=SCALE)
+    assert result.passed
+
+
+def test_abl_oversample(benchmark, run_experiment):
+    result = benchmark(run_experiment, "abl-oversample", scale=SCALE)
+    assert result.passed
+
+
+def test_ext_models(benchmark, run_experiment):
+    result = benchmark(run_experiment, "ext-models", scale=SCALE)
+    assert result.passed
+
+
+def test_ext_sensitivity(benchmark, run_experiment):
+    result = benchmark(run_experiment, "ext-sensitivity", scale=SCALE)
+    assert result.passed
+
+
+def test_ext_lu(benchmark, run_experiment):
+    result = benchmark(run_experiment, "ext-lu", scale=SCALE)
+    assert result.passed
+
+
+def test_ext_primitives(benchmark, run_experiment):
+    result = benchmark(run_experiment, "ext-primitives", scale=SCALE)
+    assert result.passed
+
+
+def test_ext_t800(benchmark, run_experiment):
+    result = benchmark(run_experiment, "ext-t800", scale=SCALE)
+    assert result.passed
+
+
+def test_ext_misranking(benchmark, run_experiment):
+    result = benchmark(run_experiment, "ext-misranking", scale=SCALE)
+    assert result.passed

@@ -1,0 +1,34 @@
+"""Benchmarks regenerating the matrix-multiplication figures:
+Figs. 3, 4, 8, 9 and 16."""
+
+SCALE = 0.3
+
+
+def test_fig3(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig3", scale=SCALE)
+    assert result.passed
+
+
+def test_fig4(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig4", scale=SCALE)
+    assert result.passed
+
+
+def test_fig8(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig8", scale=SCALE)
+    assert result.passed
+
+
+def test_fig9(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig9", scale=SCALE)
+    assert result.passed
+
+
+def test_fig16(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig16", scale=SCALE)
+    assert result.passed
+
+
+def test_abl_layout(benchmark, run_experiment):
+    result = benchmark(run_experiment, "abl-layout", scale=SCALE)
+    assert result.passed

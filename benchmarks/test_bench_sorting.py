@@ -1,0 +1,39 @@
+"""Benchmarks regenerating the sorting figures:
+Figs. 5, 6, 10, 11, 17 and 18."""
+
+SCALE = 0.3
+
+
+def test_fig5(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig5", scale=SCALE)
+    assert result.passed
+
+
+def test_fig6(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig6", scale=SCALE)
+    assert result.passed
+
+
+def test_fig10(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig10", scale=SCALE)
+    assert result.passed
+
+
+def test_fig11(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig11", scale=SCALE)
+    assert result.passed
+
+
+def test_fig17(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig17", scale=SCALE)
+    assert result.passed
+
+
+def test_fig18(benchmark, run_experiment):
+    result = benchmark(run_experiment, "fig18", scale=SCALE)
+    assert result.passed
+
+
+def test_abl_radix(benchmark, run_experiment):
+    result = benchmark(run_experiment, "abl-radix", scale=SCALE)
+    assert result.passed

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Using cost models the way the paper intends: as *design* tools.
+
+Question: to sort 64 x 1024 keys on the GCel, should you use bitonic
+sort or sample sort?  Asymptotically sample sort wins (one all-to-all
+instead of log^2 P exchange rounds) — but the MP-BPRAM model, which
+knows about message startup costs and the single-port restriction,
+predicts otherwise for realistic sizes, and the simulator confirms it
+(the paper's Fig. 18: "The performance of sample sort is somewhat
+disappointing").
+
+Run:  python examples/choosing_an_algorithm.py
+"""
+
+from repro.algorithms import bitonic, samplesort
+from repro.core.predictions import bpram_bitonic, bpram_sample_sort
+from repro.machines import GCel
+from repro.core import paper_params
+
+params = paper_params("gcel")
+P = params.P
+
+print(f"{'M':>6} {'predicted bitonic':>18} {'predicted sample':>18} "
+      f"{'measured bitonic':>18} {'measured sample':>18}   model says")
+for M in (128, 512, 2048):
+    pred_b = bpram_bitonic(M, params)
+    pred_s = bpram_sample_sort(M, params, oversample=64)
+
+    mach = GCel(seed=3)
+    meas_b = bitonic.run(mach, M, variant="bpram", seed=3).time_us
+    meas_s = samplesort.run(GCel(seed=3), M, variant="bpram",
+                            oversample=min(64, M), seed=3).time_us
+
+    verdict = "bitonic" if pred_b < pred_s else "sample sort"
+    agree = (meas_b < meas_s) == (pred_b < pred_s)
+    note = "(confirmed)" if agree else "(measurement disagrees!)"
+    print(f"{M:>6} {pred_b / 1e3:>15.0f} ms {pred_s / 1e3:>15.0f} ms "
+          f"{meas_b / 1e3:>15.0f} ms {meas_s / 1e3:>15.0f} ms   "
+          f"{verdict} {note}")
+
+print("""
+Why: under MP-BPRAM a processor may receive only one message per step,
+so sample sort's key routing must run as 4*sqrt(P) padded block steps
+costing ~16*sigma*w*M per node — comparable to the whole 21-step bitonic
+schedule — and it still pays its splitter and multi-scan phases on top.
+
+At large M the model starts to favour sample sort, but the measurement
+keeps disagreeing: packing and unpacking the padded buffers costs real
+per-key time the formula does not capture.  That is the paper's Fig. 18
+in miniature — "although it is the most efficient sorting algorithm in
+theory, it does not outperform bitonic sort" (Section 6) — and a live
+demonstration of why validating models against machines matters.""")

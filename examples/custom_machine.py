@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Extending the harness with your own machine model.
+
+The validation pipeline is machine-agnostic: anything that subclasses
+:class:`repro.machines.base.Machine` can be calibrated, run and
+predicted.  Here we build a hypothetical "GCel-2" — the same transputer
+mesh with a rewritten message layer (10x cheaper per-message software) —
+calibrate it from scratch, and watch the paper's conclusions shift:
+bulk transfers stop being "an absolute requirement" (§6) because
+g/(w*sigma) drops from ~120 to ~12.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro.algorithms import bitonic
+from repro.calibration import calibrate
+from repro.machines import GCel
+
+
+class GCel2(GCel):
+    """A GCel with a lightweight active-message layer."""
+
+    name = "gcel2"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        # rewrite of the HPVM software stack: 10x cheaper per message
+        self.c_send /= 10
+        self.c_recv /= 10
+        self.barrier_us /= 10
+        # block transfers keep the same DMA engine
+        # drift window grows with the faster layer
+        self.drift_window *= 4
+
+
+for machine in (GCel(seed=5), GCel2(seed=5)):
+    cal = calibrate(machine, seed=5)
+    p = cal.params
+    print(f"\n{machine.name}: fitted g={p.g:.0f} L={p.L:.0f} "
+          f"sigma={p.sigma:.1f} ell={p.ell:.0f} "
+          f"-> bulk gain g/(w*sigma) = {p.bulk_gain:.0f}")
+
+    M = 1024
+    t_word = bitonic.run(machine, M, variant="bsp-sync", seed=5).time_us
+    t_blk = bitonic.run(type(machine)(seed=5), M, variant="bpram",
+                        seed=5).time_us
+    print(f"  bitonic sort, M={M}: word-at-a-time {t_word / 1e3:8.0f} ms, "
+          f"block {t_blk / 1e3:8.0f} ms  (speedup x{t_word / t_blk:.1f})")
+
+print("""
+On the real GCel the block version wins by ~60x end to end; on GCel-2 the
+gap shrinks by an order of magnitude — whether a computation model must
+capture bulk transfer is a property of the machine's software stack, not
+of the algorithm (the paper's Section 8 conclusion, quantified).""")

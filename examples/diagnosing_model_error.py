@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Diagnosing *where* a model's prediction goes wrong.
+
+The paper never stops at an error percentage — it names the culprit
+superstep ("the defect is the result of processor contention", §5.1).
+The library mechanises that workflow: run, attribute, read the table.
+
+Two cases from the paper:
+
+1. the unstaggered CM-5 matrix multiply: BSP underestimates exactly the
+   two communication supersteps where many processors converge on one
+   destination;
+2. APSP on the GCel: BSP's error concentrates in the scatter supersteps
+   of the broadcast, not the allgathers — which is precisely why the
+   paper's fix (use g_mscat for that superstep only) works.
+
+Run:  python examples/diagnosing_model_error.py
+"""
+
+from repro.algorithms import apsp, matmul
+from repro.calibration import calibrate
+from repro.core import BSP
+from repro.machines import CM5, GCel
+from repro.validation.attribution import attribute_error, render_attribution
+
+# ---- case 1: contention in the unstaggered matmul --------------------
+machine = CM5(seed=21)
+cal = calibrate(machine, seed=21)
+res = matmul.run(machine, 256, variant="bsp", seed=21)  # naive order!
+rows = attribute_error(res.trace, BSP(cal.params))
+print("Case 1 — unstaggered matmul on the CM-5 (BSP)")
+print(render_attribution(rows))
+print("""-> both communication families come out *under*-predicted
+   (negative gap): the naive schedule stalls on endpoint contention,
+   which BSP cannot see.  Re-run with variant="bsp-staggered" and the
+   gaps collapse (paper Fig. 4).\n""")
+
+# ---- case 2: the unbalanced scatter inside APSP ----------------------
+machine = GCel(seed=22)
+cal = calibrate(machine, seed=22)
+res = apsp.run(machine, 64, seed=22)
+rows = attribute_error(res.trace, BSP(cal.params))
+print("Case 2 — APSP on the GCel (BSP)")
+print(render_attribution(rows, top=6))
+print("""-> the overestimate concentrates in the scatter supersteps
+   (sqrt(P) senders, everyone receiving a sliver), while the allgather
+   families are priced fairly.  Charging only the scatter at g_mscat is
+   therefore exactly the right repair — the paper's Fig. 13.""")

@@ -1,0 +1,54 @@
+"""repro — reproduction of *A Quantitative Comparison of Parallel
+Computation Models* (Juurlink & Wijshoff, SPAA 1996).
+
+The package validates the BSP, MP-BSP, MP-BPRAM and E-BSP cost models
+against simulated MasPar MP-1, Parsytec GCel and CM-5 machines, running
+real SPMD implementations of matrix multiplication, bitonic sort, sample
+sort and all-pairs shortest path.
+
+Quickstart::
+
+    from repro import make_machine
+    from repro.algorithms import bitonic
+    from repro.core import MPBPRAM, paper_params
+
+    machine = make_machine("gcel", seed=1)
+    result = bitonic.run(machine, M=1024, variant="bpram", seed=1)
+    predicted = MPBPRAM(paper_params("gcel")).trace_cost(result.trace)
+    print(result.time_us, predicted)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction record.
+"""
+
+from .core import (
+    BSP,
+    EBSP,
+    MPBPRAM,
+    MPBSP,
+    PAPER_PARAMS,
+    CommPhase,
+    CostModel,
+    ModelParams,
+    ReproError,
+    ScatterAwareBSP,
+    Trace,
+    UnbalancedCost,
+    paper_params,
+)
+from .machines import CM5, MACHINES, GCel, Machine, MasParMP1, make_machine
+from .simulator import ProcContext, RunResult, run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "CostModel", "BSP", "MPBSP", "MPBPRAM", "EBSP", "ScatterAwareBSP",
+    "ModelParams", "UnbalancedCost", "PAPER_PARAMS", "paper_params",
+    "CommPhase", "Trace", "ReproError",
+    # machines
+    "Machine", "MasParMP1", "GCel", "CM5", "make_machine", "MACHINES",
+    # simulator
+    "run_spmd", "ProcContext", "RunResult",
+]

@@ -1,0 +1,16 @@
+"""The paper's benchmark algorithms (Section 4), as SPMD programs.
+
+* :mod:`~repro.algorithms.matmul` — 3D matrix multiplication (§4.1);
+* :mod:`~repro.algorithms.bitonic` — Batcher's bitonic sort (§4.2);
+* :mod:`~repro.algorithms.samplesort` — sample sort (§4.3);
+* :mod:`~repro.algorithms.apsp` — Floyd all-pairs shortest path (§4.4);
+* :mod:`~repro.algorithms.local` — local kernels (radix sort, merges,
+  blocked matmul);
+* :mod:`~repro.algorithms.primitives` — grid all-to-all and multi-scan.
+"""
+
+from . import (apsp, bitonic, collectives, local, lu, matmul, primitives,
+               samplesort, stencil)
+
+__all__ = ["matmul", "bitonic", "samplesort", "apsp", "lu", "local",
+           "primitives", "collectives", "stencil"]

@@ -1,0 +1,137 @@
+"""Batcher's bitonic sort on blocks (paper §4.2).
+
+``N = P * M`` keys, ``M`` per processor.  Every processor radix-sorts its
+keys locally, then ``log P`` merge stages run; stage ``d`` has ``d`` merge
+steps.  In step ``j`` of stage ``d`` each processor exchanges its whole
+sorted run with the partner whose rank differs in bit ``d - j`` and keeps
+the lower or upper half of the merge — the classic compare-split block
+bitonic network.  The exchange pattern of every step is a single-bit-XOR
+("cube") permutation, which is why the MasPar router runs it almost twice
+as fast as the models predict (§5.1).
+
+Variants:
+
+``"bsp"``
+    fine-grain word-at-a-time exchange, one barrier per merge step — the
+    plain (MP-)BSP implementation;
+``"bsp-nosync"``
+    same messages but *no barriers* — the paper's first GCel/PVM
+    implementation, whose processors drift out of sync beyond ~300
+    back-to-back messages (Fig. 7);
+``"bsp-sync"``
+    fine-grain with an extra barrier after every ``sync_every`` (default
+    256) messages — the paper's fix;
+``"bpram"``
+    one block message per merge step (the MP-BPRAM version).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from ..machines.base import Machine
+from ..simulator import RunResult, run_spmd
+from ..simulator.context import ProcContext
+from .local import merge_keep, radix_sort
+
+__all__ = ["run", "bitonic_program", "VARIANTS"]
+
+VARIANTS = ("bsp", "bsp-nosync", "bsp-sync", "bpram")
+
+
+def _ilog2(n: int) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ExperimentError(f"bitonic sort needs a power-of-two P, got {n}")
+    return n.bit_length() - 1
+
+
+def bitonic_program(ctx: ProcContext, keys: np.ndarray, variant: str,
+                    sync_every: int = 256, key_bits: int = 32,
+                    group_words: int = 1):
+    """SPMD block bitonic sort; returns this processor's sorted run.
+
+    ``group_words > 1`` makes the fine-grain variants pack that many keys
+    into each message — the "fixed size short messages, but larger than
+    one computational word" of the paper's conclusions (§8).
+    """
+    if variant not in VARIANTS:
+        raise ExperimentError(f"unknown bitonic variant {variant!r}")
+    if group_words < 1:
+        raise ExperimentError("group_words must be >= 1")
+    P, rank = ctx.P, ctx.rank
+    log_p = _ilog2(P)
+    M = keys.size
+    w = ctx.word_bytes
+
+    mine = radix_sort(ctx, keys, bits=key_bits)
+
+    step_no = 0
+    for d in range(1, log_p + 1):
+        for j in range(d - 1, -1, -1):
+            bit = 1 << j
+            partner = rank ^ bit
+            # ascending region if bit d of rank is 0 (top stage: all asc.)
+            ascending = (rank >> d) & 1 == 0 if d < log_p else True
+            keep_min = (rank < partner) == ascending
+
+            tag = ("x", step_no)
+            if variant == "bpram":
+                # pairwise block exchange; the matching receive is the
+                # synchronisation point (no global barrier needed)
+                ctx.put(partner, mine, nbytes=M * w, count=1, tag=tag)
+                yield ctx.sync(f"merge-{d}.{j}", barrier=False)
+            elif variant == "bsp":
+                ctx.put(partner, mine, nbytes=M * w,
+                        count=max(1, -(-M // group_words)), tag=tag)
+                yield ctx.sync(f"merge-{d}.{j}")
+            elif variant == "bsp-nosync":
+                ctx.put(partner, mine, nbytes=M * w,
+                        count=max(1, -(-M // group_words)), tag=tag)
+                yield ctx.sync(f"merge-{d}.{j}", barrier=False)
+            else:  # bsp-sync: barrier after every `sync_every` messages
+                sent = 0
+                chunk_no = 0
+                while sent < M:
+                    n = min(sync_every, M - sent)
+                    chunk = mine[sent:sent + n]
+                    ctx.put(partner, chunk, nbytes=n * w, count=n,
+                            tag=(tag, chunk_no))
+                    sent += n
+                    chunk_no += 1
+                    yield ctx.sync(f"merge-{d}.{j}.{chunk_no}")
+                theirs = np.concatenate(
+                    [ctx.get(src=partner, tag=(tag, c)) for c in range(chunk_no)])
+                mine = merge_keep(ctx, mine, theirs, keep_min=keep_min)
+                step_no += 1
+                continue
+
+            theirs = ctx.get(src=partner, tag=tag)
+            mine = merge_keep(ctx, mine, theirs, keep_min=keep_min)
+            step_no += 1
+    return mine
+
+
+def run(machine: Machine, M: int, *, variant: str = "bsp",
+        P: int | None = None, seed: int = 0, sync_every: int = 256,
+        key_bits: int = 32, group_words: int = 1) -> RunResult:
+    """Sort ``P * M`` random keys on ``machine``; ``M`` keys per processor."""
+    P = P or machine.P
+    rng = np.random.default_rng(seed)
+    all_keys = rng.integers(0, 1 << key_bits, size=(P, M), dtype=np.uint64)
+
+    def program(ctx: ProcContext):
+        return bitonic_program(ctx, all_keys[ctx.rank], variant,
+                               sync_every=sync_every, key_bits=key_bits,
+                               group_words=group_words)
+
+    result = run_spmd(machine, program, P=P,
+                      label=f"bitonic-{variant}-M{M}")
+    result.inputs = all_keys  # type: ignore[attr-defined]
+    return result
+
+
+def is_globally_sorted(returns: list[np.ndarray]) -> bool:
+    """Check the concatenation of the per-processor runs is sorted."""
+    flat = np.concatenate(returns)
+    return bool(np.all(flat[:-1] <= flat[1:]))

@@ -1,0 +1,188 @@
+"""BSP communication primitives (after the paper's reference [16]).
+
+Sample sort's multi-scan cites "Communication Primitives for BSP
+Computers" (Juurlink & Wijshoff, IPL '95) — the companion paper in which
+the authors derive optimal BSP collectives.  This module implements the
+classic strategy pairs so their crossovers can be measured on the
+simulated machines:
+
+* **vector broadcast** — ``naive`` (the root sends the whole vector to
+  everybody: ``g n (P-1) + L``) vs ``two-phase`` (scatter the vector,
+  then allgather the pieces: ``~ 2 (g n + L)``), the textbook optimal
+  BSP broadcast for large vectors;
+* **vector reduction** — ``naive`` (everyone sends to the root, which
+  combines: ``g n (P-1) + L``) vs ``two-phase`` (reduce-scatter by
+  pieces, then gather: ``~ 2 (g n + L)``);
+* **prefix sums** — ``tree`` (pointer-doubling, ``log P`` supersteps of
+  one word: ``(g + L) log P``) vs ``direct`` (every processor sends its
+  value to all higher-ranked ones: ``g (P-1) + L``) — the trade the
+  multi-scan of §4.3 navigates.
+
+All are generator subroutines (``yield from`` them inside an SPMD
+program) operating on real data, so tests verify both the costs and the
+answers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from ..simulator.context import ProcContext
+
+__all__ = ["broadcast", "reduce_vector", "prefix_sum"]
+
+
+def _check_vec(vec, P: int) -> np.ndarray:
+    v = np.asarray(vec, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0 or v.size % P:
+        raise ExperimentError(
+            f"collectives need a 1-D vector with P | n, got shape {v.shape}")
+    return v
+
+
+def broadcast(ctx: ProcContext, vec, root: int, tag: str,
+              strategy: str = "two-phase"):
+    """Broadcast ``vec`` (held by ``root``) to every processor."""
+    P, rank = ctx.P, ctx.rank
+    w = ctx.word_bytes
+    if strategy == "naive":
+        if rank == root:
+            v = _check_vec(vec, P)
+            for s in range(1, P):
+                dst = (root + s) % P
+                ctx.put(dst, v, nbytes=v.size * w, count=v.size,
+                        tag=(tag, "b"), step=s)
+        yield ctx.sync(f"{tag}-bcast-naive")
+        if rank == root:
+            return _check_vec(vec, P)
+        return np.asarray(ctx.get(src=root, tag=(tag, "b")))
+
+    if strategy != "two-phase":
+        raise ExperimentError(f"unknown broadcast strategy {strategy!r}")
+
+    # phase 1: root scatters piece j to processor j
+    piece_of = None
+    n = None
+    if rank == root:
+        v = _check_vec(vec, P)
+        n = v.size
+        piece = n // P
+        for s in range(1, P):
+            dst = (root + s) % P
+            ctx.put(dst, v[dst * piece:(dst + 1) * piece],
+                    nbytes=piece * w, count=piece, tag=(tag, "s"), step=s)
+    yield ctx.sync(f"{tag}-bcast-scatter")
+    if rank == root:
+        v = _check_vec(vec, P)
+        piece_of = v[rank * (v.size // P):(rank + 1) * (v.size // P)].copy()
+    else:
+        piece_of = np.asarray(ctx.get(src=root, tag=(tag, "s")))
+    piece = piece_of.size
+    # phase 2: allgather the pieces
+    for s in range(1, P):
+        dst = (rank + s) % P
+        ctx.put(dst, piece_of, nbytes=piece * w, count=piece,
+                tag=(tag, "g", rank), step=s)
+    yield ctx.sync(f"{tag}-bcast-allgather")
+    out = np.empty(piece * P)
+    for src in range(P):
+        part = piece_of if src == rank else np.asarray(
+            ctx.get(src=src, tag=(tag, "g", src)))
+        out[src * piece:(src + 1) * piece] = part
+    return out
+
+
+def reduce_vector(ctx: ProcContext, vec, root: int, tag: str,
+                  strategy: str = "two-phase"):
+    """Element-wise sum of every processor's ``vec``, result at ``root``.
+
+    Returns the reduced vector on ``root`` and ``None`` elsewhere.
+    """
+    P, rank = ctx.P, ctx.rank
+    w = ctx.word_bytes
+    v = _check_vec(vec, P)
+    n = v.size
+    if strategy == "naive":
+        if rank != root:
+            ctx.put(root, v, nbytes=n * w, count=n, tag=(tag, "r", rank),
+                    step=(rank - root) % P)
+        yield ctx.sync(f"{tag}-reduce-naive")
+        if rank != root:
+            return None
+        total = v.copy()
+        for src in range(P):
+            if src != root:
+                total += np.asarray(ctx.get(src=src, tag=(tag, "r", src)))
+        ctx.charge_flops((P - 1) * n)
+        return total
+
+    if strategy != "two-phase":
+        raise ExperimentError(f"unknown reduce strategy {strategy!r}")
+
+    piece = n // P
+    # phase 1: reduce-scatter — processor j combines piece j
+    for s in range(1, P):
+        dst = (rank + s) % P
+        ctx.put(dst, v[dst * piece:(dst + 1) * piece], nbytes=piece * w,
+                count=piece, tag=(tag, "rs", rank), step=s)
+    yield ctx.sync(f"{tag}-reduce-scatter")
+    mine = v[rank * piece:(rank + 1) * piece].copy()
+    for src in range(P):
+        if src != rank:
+            mine += np.asarray(ctx.get(src=src, tag=(tag, "rs", src)))
+    ctx.charge_flops((P - 1) * piece)
+    # phase 2: gather the combined pieces at the root
+    if rank != root:
+        ctx.put(root, mine, nbytes=piece * w, count=piece,
+                tag=(tag, "gt", rank), step=(rank - root) % P)
+    yield ctx.sync(f"{tag}-reduce-gather")
+    if rank != root:
+        return None
+    total = np.empty(n)
+    for src in range(P):
+        part = mine if src == rank else np.asarray(
+            ctx.get(src=src, tag=(tag, "gt", src)))
+        total[src * piece:(src + 1) * piece] = part
+    return total
+
+
+def prefix_sum(ctx: ProcContext, value: float, tag: str,
+               strategy: str = "tree"):
+    """Exclusive prefix sum of one value per processor.
+
+    Returns ``sum of values on ranks < rank``.
+    """
+    P, rank = ctx.P, ctx.rank
+    w = ctx.word_bytes
+    if strategy == "direct":
+        for s in range(1, P - rank):
+            ctx.put(rank + s, float(value), nbytes=w, count=1,
+                    tag=(tag, rank), step=s)
+        yield ctx.sync(f"{tag}-scan-direct")
+        total = 0.0
+        for src in range(rank):
+            total += float(ctx.get(src=src, tag=(tag, src)))
+        ctx.charge_us(0.05 * max(1, rank))
+        return total
+
+    if strategy != "tree":
+        raise ExperimentError(f"unknown scan strategy {strategy!r}")
+    if P & (P - 1):
+        raise ExperimentError("tree scan needs a power-of-two P")
+    # pointer doubling: after round t, each processor holds the sum of
+    # the 2^(t+1) values ending at its own (inclusive), tracked so the
+    # exclusive result is total_inclusive - own value.
+    inclusive = float(value)
+    for t in range(int(math.log2(P))):
+        stride = 1 << t
+        if rank + stride < P:
+            ctx.put(rank + stride, inclusive, nbytes=w, count=1,
+                    tag=(tag, "t", t), step=0)
+        yield ctx.sync(f"{tag}-scan-{t}")
+        if rank - stride >= 0:
+            inclusive += float(ctx.get(src=rank - stride, tag=(tag, "t", t)))
+        ctx.charge_us(0.1)
+    return inclusive - float(value)

@@ -1,0 +1,189 @@
+"""Blocked LU decomposition (extension).
+
+The paper motivates APSP by its communication structure being "similar
+to many other important algorithms such as LU decomposition" (§4.4), and
+closes by asking "whether acceptable performance can also be achieved
+for problems that are harder to parallelize" (§8).  This module answers
+with the canonical such problem: right-looking LU (no pivoting) on the
+same ``sqrt(P) x sqrt(P)`` block grid as APSP.
+
+Per elimination step ``k``:
+
+1. the processors owning column ``k`` compute the multipliers
+   ``l_ik = a_ik / a_kk`` and broadcast their below-``k`` segment along
+   their processor row;
+2. the processors owning row ``k`` broadcast their right-of-``k``
+   segment along their processor column;
+3. every processor updates its part of the trailing submatrix:
+   ``a_ij -= l_ik * u_kj``.
+
+Two properties make LU "harder" than APSP and exercise the models
+differently:
+
+* the broadcasts shrink as elimination proceeds and originate from a
+  *single* processor per row/column — even more unbalanced than APSP's
+  scatter, so plain BSP's full-h-relation charge overestimates badly on
+  low-bandwidth machines;
+* the trailing submatrix shrinks onto the bottom-right of the block
+  grid, so the *computation* is imbalanced too: the critical processor
+  does up to ``P``-times the average work near the end.  No cost model
+  with a single ``c`` term distinguishes "balanced" from "imbalanced"
+  computation — but pricing the trace takes the *maximum*, so the
+  predictions remain honest while parallel efficiency collapses (this is
+  the quantitative answer to §8's closing question).
+
+Pivoting is deliberately omitted (runs use diagonally dominant
+matrices): partial pivoting adds a max-reduction per step but no new
+communication structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from ..machines.base import Machine
+from ..simulator import RunResult, run_spmd
+from ..simulator.context import ProcContext
+
+__all__ = ["run", "lu_program", "assemble", "reference_lu",
+           "random_dd_matrix"]
+
+
+def random_dd_matrix(N: int, rng: np.random.Generator) -> np.ndarray:
+    """A random diagonally dominant matrix (stable without pivoting)."""
+    A = rng.standard_normal((N, N))
+    A[np.arange(N), np.arange(N)] = np.abs(A).sum(axis=1) + 1.0
+    return A
+
+
+def reference_lu(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential right-looking LU without pivoting — the oracle."""
+    N = A.shape[0]
+    LU = A.astype(float).copy()
+    for k in range(N - 1):
+        LU[k + 1:, k] /= LU[k, k]
+        LU[k + 1:, k + 1:] -= np.outer(LU[k + 1:, k], LU[k, k + 1:])
+    L = np.tril(LU, -1) + np.eye(N)
+    U = np.triu(LU)
+    return L, U
+
+
+def lu_program(ctx: ProcContext, A: np.ndarray):
+    """SPMD LU; returns this processor's final ``M x M`` block of L\\U."""
+    P, rank = ctx.P, ctx.rank
+    N = A.shape[0]
+    side = math.isqrt(P)
+    if side * side != P:
+        raise ExperimentError(f"LU needs a square grid, got P={P}")
+    if N % side:
+        raise ExperimentError(f"LU needs sqrt(P) | N (N={N}, sqrt(P)={side})")
+    M = N // side
+    w = ctx.word_bytes
+    r, c = divmod(rank, side)
+    block = A[r * M:(r + 1) * M, c * M:(c + 1) * M].astype(float).copy()
+
+    row_lo, col_lo = r * M, c * M  # global offsets of this block
+
+    for k in range(N - 1):
+        kb, ki = divmod(k, M)
+
+        # ---- multipliers + column broadcast along rows ----
+        # owner <r, kb> holds column k rows [row_lo, row_lo + M).
+        my_rows_below = max(0, min(N, row_lo + M) - max(k + 1, row_lo))
+        col_seg = None
+        if c == kb and r == kb:
+            # the diagonal owner sends the pivot a_kk down its processor
+            # column (one word to each column-mate)
+            pivot = float(block[ki, ki])
+            for s in range(1, side):
+                rr = (r + s) % side
+                ctx.put(rr * side + c, pivot, nbytes=w, count=1,
+                        tag=("piv", k), step=s)
+        yield ctx.sync(f"pivot-{k}")
+        if c == kb:
+            if r == kb:
+                piv = float(block[ki, ki])
+            else:
+                piv = float(ctx.get(src=kb * side + c, tag=("piv", k)))
+            lo = max(k + 1, row_lo) - row_lo
+            if my_rows_below > 0:
+                block[lo:lo + my_rows_below, ki] /= piv
+                ctx.charge_flops(my_rows_below)
+                seg = block[lo:lo + my_rows_below, ki].copy()
+            else:
+                seg = np.empty(0)
+            col_seg = seg
+            # broadcast along my processor row (single unbalanced sender)
+            if seg.size:
+                for s in range(1, side):
+                    cc = (c + s) % side
+                    ctx.put(r * side + cc, seg, nbytes=seg.size * w,
+                            count=seg.size, tag=("col", k), step=s)
+        yield ctx.sync(f"col-bcast-{k}")
+        if c != kb:
+            if my_rows_below > 0:
+                col_seg = np.asarray(ctx.get(src=r * side + kb,
+                                             tag=("col", k)))
+            else:
+                col_seg = np.empty(0)
+
+        # ---- row broadcast along columns ----
+        my_cols_right = max(0, min(N, col_lo + M) - max(k + 1, col_lo))
+        row_seg = None
+        if r == kb:
+            lo = max(k + 1, col_lo) - col_lo
+            seg = block[ki, lo:lo + my_cols_right].copy() \
+                if my_cols_right > 0 else np.empty(0)
+            row_seg = seg
+            if seg.size:
+                for s in range(1, side):
+                    rr = (r + s) % side
+                    ctx.put(rr * side + c, seg, nbytes=seg.size * w,
+                            count=seg.size, tag=("row", k), step=s)
+        yield ctx.sync(f"row-bcast-{k}")
+        if r != kb:
+            if my_cols_right > 0:
+                row_seg = np.asarray(ctx.get(src=kb * side + c,
+                                             tag=("row", k)))
+            else:
+                row_seg = np.empty(0)
+
+        # ---- trailing update of my block ----
+        if col_seg is not None and col_seg.size and row_seg is not None \
+                and row_seg.size:
+            rlo = max(k + 1, row_lo) - row_lo
+            clo = max(k + 1, col_lo) - col_lo
+            block[rlo:rlo + col_seg.size, clo:clo + row_seg.size] -= \
+                np.outer(col_seg, row_seg)
+            ctx.charge_flops(col_seg.size * row_seg.size)
+
+    return block
+
+
+def run(machine: Machine, N: int, *, P: int | None = None,
+        seed: int = 0) -> RunResult:
+    """Factor a random diagonally dominant ``N x N`` matrix."""
+    P = P or machine.P
+    rng = np.random.default_rng(seed)
+    A = random_dd_matrix(N, rng)
+
+    def program(ctx: ProcContext):
+        return lu_program(ctx, A)
+
+    result = run_spmd(machine, program, P=P, label=f"lu-N{N}")
+    result.inputs = A  # type: ignore[attr-defined]
+    return result
+
+
+def assemble(P: int, N: int, returns: list[np.ndarray]) -> np.ndarray:
+    """Rebuild the packed L\\U factor matrix from the blocks."""
+    side = math.isqrt(P)
+    M = N // side
+    out = np.empty((N, N))
+    for rank, blk in enumerate(returns):
+        r, c = divmod(rank, side)
+        out[r * M:(r + 1) * M, c * M:(c + 1) * M] = blk
+    return out

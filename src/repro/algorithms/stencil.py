@@ -1,0 +1,125 @@
+"""2-D Jacobi stencil with halo exchange (extension workload).
+
+The canonical *neighbour-structured* computation: the global grid is
+block-partitioned over a ``sqrt(P) x sqrt(P)`` processor grid; each
+iteration every processor exchanges its boundary rows/columns with its
+four grid neighbours (non-periodic), then applies the five-point
+update.  On a store-and-forward machine each halo message travels one
+hop, so the flat-``g`` BSP charge (calibrated on random patterns)
+systematically *overestimates* it — the "general locality" error that
+:class:`~repro.core.ebsp.LocalityAwareBSP` fixes and the ext-t800
+experiment measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from ..machines.base import Machine
+from ..simulator import RunResult, run_spmd
+from ..simulator.context import ProcContext
+
+__all__ = ["run", "stencil_program", "assemble", "reference_jacobi"]
+
+
+def reference_jacobi(grid: np.ndarray, iters: int) -> np.ndarray:
+    """Sequential Jacobi with fixed (Dirichlet) boundary — the oracle."""
+    a = grid.astype(float).copy()
+    for _ in range(iters):
+        b = a.copy()
+        b[1:-1, 1:-1] = 0.25 * (a[:-2, 1:-1] + a[2:, 1:-1]
+                                + a[1:-1, :-2] + a[1:-1, 2:])
+        a = b
+    return a
+
+
+def stencil_program(ctx: ProcContext, grid: np.ndarray, iters: int):
+    """SPMD Jacobi; returns this processor's final ``M x M`` block."""
+    P, rank = ctx.P, ctx.rank
+    N = grid.shape[0]
+    side = math.isqrt(P)
+    if side * side != P:
+        raise ExperimentError(f"stencil needs a square grid, got P={P}")
+    if N % side:
+        raise ExperimentError(f"stencil needs sqrt(P) | N (N={N})")
+    M = N // side
+    w = ctx.word_bytes
+    r, c = divmod(rank, side)
+    block = grid[r * M:(r + 1) * M, c * M:(c + 1) * M].astype(float).copy()
+
+    north = (r - 1) * side + c if r > 0 else -1
+    south = (r + 1) * side + c if r < side - 1 else -1
+    west = rank - 1 if c > 0 else -1
+    east = rank + 1 if c < side - 1 else -1
+
+    for it in range(iters):
+        # halo exchange: one message per existing neighbour
+        if north >= 0:
+            ctx.put(north, block[0, :], nbytes=M * w, count=M,
+                    tag=("halo", it, "n"), step=0)
+        if south >= 0:
+            ctx.put(south, block[-1, :], nbytes=M * w, count=M,
+                    tag=("halo", it, "s"), step=1)
+        if west >= 0:
+            ctx.put(west, block[:, 0].copy(), nbytes=M * w, count=M,
+                    tag=("halo", it, "w"), step=2)
+        if east >= 0:
+            ctx.put(east, block[:, -1].copy(), nbytes=M * w, count=M,
+                    tag=("halo", it, "e"), step=3)
+        yield ctx.sync(f"halo-{it}")
+
+        padded = np.zeros((M + 2, M + 2))
+        padded[1:-1, 1:-1] = block
+        if north >= 0:
+            padded[0, 1:-1] = np.asarray(ctx.get(src=north,
+                                                 tag=("halo", it, "s")))
+        if south >= 0:
+            padded[-1, 1:-1] = np.asarray(ctx.get(src=south,
+                                                  tag=("halo", it, "n")))
+        if west >= 0:
+            padded[1:-1, 0] = np.asarray(ctx.get(src=west,
+                                                 tag=("halo", it, "e")))
+        if east >= 0:
+            padded[1:-1, -1] = np.asarray(ctx.get(src=east,
+                                                  tag=("halo", it, "w")))
+
+        new = 0.25 * (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                      + padded[1:-1, :-2] + padded[1:-1, 2:])
+        # interior points only; global boundary rows/cols stay fixed
+        lo_r = 1 if r == 0 else 0
+        hi_r = M - 1 if r == side - 1 else M
+        lo_c = 1 if c == 0 else 0
+        hi_c = M - 1 if c == side - 1 else M
+        block[lo_r:hi_r, lo_c:hi_c] = new[lo_r:hi_r, lo_c:hi_c]
+        ctx.charge_flops(2 * M * M)  # 3 adds + 1 mul ~ 2 compound ops/pt
+
+    return block
+
+
+def run(machine: Machine, N: int, iters: int, *, P: int | None = None,
+        seed: int = 0) -> RunResult:
+    """Run ``iters`` Jacobi sweeps on a random ``N x N`` grid."""
+    P = P or machine.P
+    rng = np.random.default_rng(seed)
+    grid = rng.random((N, N))
+
+    def program(ctx: ProcContext):
+        return stencil_program(ctx, grid, iters)
+
+    result = run_spmd(machine, program, P=P,
+                      label=f"stencil-N{N}-it{iters}")
+    result.inputs = grid  # type: ignore[attr-defined]
+    return result
+
+
+def assemble(P: int, N: int, returns: list[np.ndarray]) -> np.ndarray:
+    side = math.isqrt(P)
+    M = N // side
+    out = np.empty((N, N))
+    for rank, blk in enumerate(returns):
+        r, c = divmod(rank, side)
+        out[r * M:(r + 1) * M, c * M:(c + 1) * M] = blk
+    return out

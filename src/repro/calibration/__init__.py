@@ -1,0 +1,33 @@
+"""Parameter calibration — the reproduction of paper Section 3."""
+
+from .fitting import LineFit, fit_line, fit_unbalanced, r_squared
+from .microbench import (
+    TimingSeries,
+    block_permutation_experiment,
+    full_h_relation_experiment,
+    hh_permutation_experiment,
+    multinode_scatter_experiment,
+    one_h_relation_experiment,
+    partial_permutation_experiment,
+    time_phase,
+)
+from .table1 import Calibration, calibrate, calibrate_all, render_table1
+
+__all__ = [
+    "TimingSeries",
+    "one_h_relation_experiment",
+    "partial_permutation_experiment",
+    "full_h_relation_experiment",
+    "block_permutation_experiment",
+    "hh_permutation_experiment",
+    "multinode_scatter_experiment",
+    "time_phase",
+    "LineFit",
+    "fit_line",
+    "fit_unbalanced",
+    "r_squared",
+    "Calibration",
+    "calibrate",
+    "calibrate_all",
+    "render_table1",
+]

@@ -1,0 +1,75 @@
+"""Least-squares fits that turn microbenchmark timings into parameters.
+
+The paper fits straight lines to 1-h-relation / h-relation / block-
+permutation timings (yielding ``g``, ``L``, ``sigma``, ``ell``) and a
+second-order polynomial in ``sqrt(P')`` to the partial-permutation
+timings (yielding ``T_unb``, §3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import CalibrationError
+from ..core.params import UnbalancedCost
+from .microbench import TimingSeries
+
+__all__ = ["LineFit", "fit_line", "fit_unbalanced", "r_squared"]
+
+
+class LineFit:
+    """A fitted straight line ``y = slope * x + intercept``."""
+
+    def __init__(self, slope: float, intercept: float, r2: float):
+        self.slope = slope
+        self.intercept = intercept
+        self.r2 = r2
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LineFit(slope={self.slope:.4g}, "
+                f"intercept={self.intercept:.4g}, r2={self.r2:.4f})")
+
+
+def r_squared(ys: np.ndarray, fitted: np.ndarray) -> float:
+    """Coefficient of determination of a fit."""
+    ys = np.asarray(ys, dtype=float)
+    fitted = np.asarray(fitted, dtype=float)
+    ss_res = float(((ys - fitted) ** 2).sum())
+    ss_tot = float(((ys - ys.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_line(series: TimingSeries) -> LineFit:
+    """Fit ``y = slope x + intercept`` to a timing series."""
+    if series.xs.size < 2:
+        raise CalibrationError("need at least two points for a line fit")
+    A = np.column_stack([series.xs, np.ones_like(series.xs)])
+    coef, *_ = np.linalg.lstsq(A, series.mean, rcond=None)
+    slope, intercept = float(coef[0]), float(coef[1])
+    if slope < 0:
+        raise CalibrationError(
+            f"non-physical negative slope {slope:.3g} fitting {series.name}")
+    return LineFit(slope, intercept, r_squared(series.mean, A @ coef))
+
+
+def fit_unbalanced(series: TimingSeries) -> tuple[UnbalancedCost, float]:
+    """Fit ``T_unb(P') = a P' + b sqrt(P') + c`` (paper §3.1, Fig. 2).
+
+    Returns the fitted law and its R^2.
+    """
+    if series.xs.size < 3:
+        raise CalibrationError("need at least three points for the "
+                               "second-order fit")
+    A = np.column_stack([series.xs, np.sqrt(series.xs),
+                         np.ones_like(series.xs)])
+    coef, *_ = np.linalg.lstsq(A, series.mean, rcond=None)
+    a, b, c = (float(v) for v in coef)
+    if a < 0:
+        raise CalibrationError(
+            f"non-physical negative linear term a={a:.3g} in T_unb fit")
+    return UnbalancedCost(a=a, b=b, c=c), r_squared(series.mean, A @ coef)

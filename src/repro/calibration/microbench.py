@@ -1,0 +1,233 @@
+"""Microbenchmarks that determine the model parameters (paper Section 3).
+
+Each experiment drives a synthetic communication pattern through a
+machine model's timing path repeatedly (with a fresh random pattern per
+trial) and reports mean/min/max virtual times — the data behind Fig. 1
+(1-h relations), Fig. 2 (partial permutations), Fig. 7 (h-h permutations
+vs. h-relations), Fig. 14 (multinode scatter) and Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import CalibrationError
+from ..core.relations import CommPhase
+from ..machines.base import Machine
+
+__all__ = [
+    "TimingSeries",
+    "random_permutation",
+    "random_partial_permutation",
+    "random_h_relation",
+    "one_h_relation",
+    "multinode_scatter",
+    "time_phase",
+    "one_h_relation_experiment",
+    "partial_permutation_experiment",
+    "full_h_relation_experiment",
+    "block_permutation_experiment",
+    "hh_permutation_experiment",
+    "multinode_scatter_experiment",
+]
+
+
+@dataclass
+class TimingSeries:
+    """Timings of one microbenchmark over a parameter sweep."""
+
+    name: str
+    xs: np.ndarray
+    mean: np.ndarray
+    lo: np.ndarray = field(default=None)  # type: ignore[assignment]
+    hi: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.xs = np.asarray(self.xs, dtype=float)
+        self.mean = np.asarray(self.mean, dtype=float)
+        if self.lo is None:
+            self.lo = self.mean.copy()
+        if self.hi is None:
+            self.hi = self.mean.copy()
+        if not (self.xs.shape == self.mean.shape):
+            raise CalibrationError("TimingSeries arrays must align")
+
+
+# ----------------------------------------------------------------------
+# Pattern generators
+# ----------------------------------------------------------------------
+
+def random_permutation(P: int, rng: np.random.Generator,
+                       msg_bytes: int = 4) -> CommPhase:
+    """A random full permutation without fixed points (all PEs active)."""
+    perm = rng.permutation(P)
+    fixed = np.nonzero(perm == np.arange(P))[0]
+    if fixed.size == 1:
+        other = (fixed[0] + 1) % P
+        perm[fixed[0]], perm[other] = perm[other], perm[fixed[0]]
+    elif fixed.size > 1:
+        perm[fixed] = np.roll(perm[fixed], 1)
+    return CommPhase.permutation(perm, msg_bytes)
+
+
+def random_partial_permutation(P: int, active: int, rng: np.random.Generator,
+                               msg_bytes: int = 4) -> CommPhase:
+    """``active`` random senders paired with ``active`` random recipients."""
+    if not 0 < active <= P:
+        raise CalibrationError(f"active must be in (0, {P}], got {active}")
+    senders = rng.choice(P, size=active, replace=False)
+    recipients = rng.choice(P, size=active, replace=False)
+    ones = np.ones(active, dtype=np.int64)
+    return CommPhase(P=P, src=senders, dst=recipients, count=ones,
+                     msg_bytes=np.full(active, msg_bytes, dtype=np.int64))
+
+
+def random_h_relation(P: int, h: int, rng: np.random.Generator,
+                      msg_bytes: int = 4) -> CommPhase:
+    """A random full h-relation: ``h`` random permutations overlaid."""
+    src = np.tile(np.arange(P), h)
+    dst = np.concatenate([rng.permutation(P) for _ in range(h)])
+    n = P * h
+    return CommPhase(P=P, src=src, dst=dst,
+                     count=np.ones(n, dtype=np.int64),
+                     msg_bytes=np.full(n, msg_bytes, dtype=np.int64))
+
+
+def one_h_relation(P: int, h: int, rng: np.random.Generator,
+                   msg_bytes: int = 4) -> CommPhase:
+    """The Fig. 1 pattern: every PE sends one message; ``ceil(P/h)``
+    random destinations receive ``h`` (the last one possibly fewer)."""
+    n_dest = -(-P // h)
+    dests = rng.choice(P, size=n_dest, replace=False)
+    dst = np.repeat(dests, h)[:P]
+    return CommPhase(P=P, src=np.arange(P), dst=dst,
+                     count=np.ones(P, dtype=np.int64),
+                     msg_bytes=np.full(P, msg_bytes, dtype=np.int64))
+
+
+def multinode_scatter(P: int, h: int, rng: np.random.Generator,
+                      msg_bytes: int = 4) -> CommPhase:
+    """The Fig. 14 pattern: ``sqrt(P)`` sources scatter ``h`` messages
+    each over the remaining processors, receives balanced."""
+    root = int(round(P ** 0.5))
+    src = np.repeat(np.arange(root), h)
+    receivers = np.arange(root, P)
+    offset = int(rng.integers(0, receivers.size))
+    dst = receivers[(np.arange(root * h) + offset) % receivers.size]
+    n = src.size
+    return CommPhase(P=P, src=src, dst=dst,
+                     count=np.ones(n, dtype=np.int64),
+                     msg_bytes=np.full(n, msg_bytes, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Timing loop
+# ----------------------------------------------------------------------
+
+def time_phase(machine: Machine, phase: CommPhase, *,
+               barrier: bool = True) -> float:
+    """Virtual time of one communication phase incl. synchronisation."""
+    clocks = np.zeros(phase.P)
+    return float(machine.comm_time(phase, clocks, barrier=barrier).max())
+
+
+def _sweep(machine, make_phase, xs, trials, rng, name, **kw) -> TimingSeries:
+    means, los, his = [], [], []
+    for x in xs:
+        times = [time_phase(machine, make_phase(int(x), rng), **kw)
+                 for _ in range(trials)]
+        means.append(np.mean(times))
+        los.append(np.min(times))
+        his.append(np.max(times))
+    return TimingSeries(name=name, xs=np.asarray(xs, dtype=float),
+                        mean=np.array(means), lo=np.array(los),
+                        hi=np.array(his))
+
+
+def one_h_relation_experiment(machine: Machine, hs, *, trials: int = 20,
+                              rng: np.random.Generator,
+                              msg_bytes: int | None = None) -> TimingSeries:
+    """Fig. 1: time of routing 1-h relations vs ``h``."""
+    mb = msg_bytes or machine.nominal.w
+    return _sweep(machine,
+                  lambda h, r: one_h_relation(machine.P, h, r, mb),
+                  hs, trials, rng, "1-h relations")
+
+
+def partial_permutation_experiment(machine: Machine, actives, *,
+                                   trials: int = 20,
+                                   rng: np.random.Generator) -> TimingSeries:
+    """Fig. 2: time of partial permutations vs active PEs."""
+    mb = machine.nominal.w
+    return _sweep(machine,
+                  lambda a, r: random_partial_permutation(machine.P, a, r, mb),
+                  actives, trials, rng, "partial permutations")
+
+
+def full_h_relation_experiment(machine: Machine, hs, *, trials: int = 5,
+                               rng: np.random.Generator) -> TimingSeries:
+    """Random full h-relations — the (g, L) calibration run (§3.2/§3.3)."""
+    mb = machine.nominal.w
+    return _sweep(machine,
+                  lambda h, r: random_h_relation(machine.P, h, r, mb),
+                  hs, trials, rng, "full h-relations")
+
+
+def block_permutation_experiment(machine: Machine, sizes, *, trials: int = 5,
+                                 rng: np.random.Generator,
+                                 barrier: bool = True) -> TimingSeries:
+    """Full block permutations — the (sigma, ell) calibration run."""
+    return _sweep(machine,
+                  lambda s, r: random_permutation(machine.P, r, s),
+                  sizes, trials, rng, "block permutations", barrier=barrier)
+
+
+def hh_permutation_experiment(machine: Machine, hs, *,
+                              rng: np.random.Generator,
+                              sync_every: int | None = None,
+                              trials: int = 3) -> TimingSeries:
+    """Fig. 7: ``h`` repetitions of one permutation, with or without
+    periodic barriers (``sync_every`` messages)."""
+    P = machine.P
+    means, los, his = [], [], []
+    for h in hs:
+        times = []
+        for _ in range(trials):
+            perm = rng.permutation(P)
+            clocks = np.zeros(P)
+            if sync_every is None:
+                ph = CommPhase(P=P, src=np.arange(P), dst=perm,
+                               count=np.full(P, int(h), dtype=np.int64),
+                               msg_bytes=np.full(P, machine.nominal.w,
+                                                 dtype=np.int64))
+                clocks = machine.comm_time(ph, clocks, barrier=False)
+            else:
+                left = int(h)
+                while left > 0:
+                    c = min(sync_every, left)
+                    ph = CommPhase(P=P, src=np.arange(P), dst=perm,
+                                   count=np.full(P, c, dtype=np.int64),
+                                   msg_bytes=np.full(P, machine.nominal.w,
+                                                     dtype=np.int64))
+                    clocks = machine.comm_time(ph, clocks, barrier=True)
+                    left -= c
+            times.append(float(clocks.max()))
+        means.append(np.mean(times))
+        los.append(np.min(times))
+        his.append(np.max(times))
+    label = "h-h permutations" if sync_every is None else \
+        f"h-h permutations (barrier/{sync_every})"
+    return TimingSeries(name=label, xs=np.asarray(hs, dtype=float),
+                        mean=np.array(means), lo=np.array(los),
+                        hi=np.array(his))
+
+
+def multinode_scatter_experiment(machine: Machine, hs, *, trials: int = 5,
+                                 rng: np.random.Generator) -> TimingSeries:
+    """Fig. 14: multinode scatter times vs ``h``."""
+    mb = machine.nominal.w
+    return _sweep(machine,
+                  lambda h, r: multinode_scatter(machine.P, h, r, mb),
+                  hs, trials, rng, "multinode scatter")

@@ -1,0 +1,48 @@
+"""The Message-Passing Block PRAM cost model (paper §2.2).
+
+Processors exchange messages of arbitrary length; a message of ``m`` bytes
+takes ``sigma * m + ell``.  The model is synchronous and *single-port*: in
+one communication step a processor may send at most one message and
+receive at most one message, and every processor awaits the completion of
+the longest transfer of the step.
+
+A communication phase is priced as the best single-port schedule of its
+messages: a processor with ``k`` sends (or receives) needs ``k``
+sequential steps, so
+
+    ``cost = n_steps * ell + sigma * max_p max(bytes_sent_p, bytes_recv_p)``
+
+with ``n_steps = max_p max(#sent_p, #recv_p)``.  The special cases reduce
+to the paper's charges — a block permutation costs ``sigma * m + ell``,
+and ``q`` staggered exchanges cost ``q * (sigma * m + ell)``.  Patterns
+that *cannot* be routed directly under the single-port restriction (all
+keys converging on one bucket in sample sort, §4.3.1) are not rejected but
+priced at their true serialised cost, which is exactly why the paper's
+sample sort needs the multi-phase routing scheme of [JáJá & Ryu].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CostModel
+from .relations import CommPhase
+
+__all__ = ["MPBPRAM"]
+
+
+class MPBPRAM(CostModel):
+    """Block-transfer model with parameters ``(P, sigma, ell)``."""
+
+    name = "mp-bpram"
+
+    def comm_cost(self, phase: CommPhase) -> float:
+        if phase.is_empty:
+            return 0.0
+        sends = phase.sends_per_proc
+        recvs = phase.recvs_per_proc
+        n_steps = int(max(sends.max(initial=0), recvs.max(initial=0)))
+        if n_steps == 0:
+            return 0.0
+        through = np.maximum(phase.bytes_sent_per_proc, phase.bytes_recv_per_proc)
+        return n_steps * self.params.ell + self.params.sigma * float(through.max())

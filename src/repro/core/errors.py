@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause without masking
+programming errors (``TypeError``, ``ValueError`` from NumPy, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "TraceError",
+    "SimulationError",
+    "DeadlockError",
+    "MailboxError",
+    "CalibrationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A cost model was asked to price something it cannot represent."""
+
+
+class TraceError(ReproError):
+    """A communication/computation trace is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The SPMD simulator detected an illegal program behaviour."""
+
+
+class DeadlockError(SimulationError):
+    """Some virtual processors are blocked while others have terminated."""
+
+
+class MailboxError(SimulationError):
+    """A receive did not match any delivered message."""
+
+
+class CalibrationError(ReproError):
+    """Parameter fitting failed or produced non-physical values."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured with unusable parameters."""

@@ -1,0 +1,145 @@
+"""LogP and LogGP cost models (extension).
+
+The paper repeatedly positions its models against LogP (Culler et al.,
+PPoPP'93) and LogGP (Alexandrov et al., SPAA'95): LogP "captures [the
+finite-capacity] aspect" behind the CM-5 contention error (§8), and
+"another model that has many of the aspects of the MP-BPRAM is the LogGP
+model" (§2.2, footnote 2).  This module implements both as trace pricers
+so they can be compared head-to-head with the paper's models on the same
+executions.
+
+Parameters (all microseconds):
+
+``L``  end-to-end latency of a small message,
+``o``  processor overhead to send or receive one message,
+``g``  gap — minimum interval between consecutive messages of one
+       processor (reciprocal bandwidth per processor),
+``G``  (LogGP only) gap per *byte* for long messages,
+``P``  number of processors.
+
+Pricing one communication phase (standard LogP accounting):
+
+* every processor is busy ``o`` per message it sends or receives, plus
+  ``(k - 1) * max(g - o, 0)`` stalls if it handles ``k = max(sends,
+  recvs)`` messages back to back;
+* under LogGP each message additionally streams its bytes beyond the
+  first word at ``G`` per byte;
+* the phase completes ``L`` after the busiest processor finishes (we add
+  one ``L``, the pipelined-delivery reading the LogP authors use).
+
+:func:`logp_from_table1` maps a machine's fitted (MP-)BSP / MP-BPRAM
+parameters onto LogGP ones, so the extension experiment can price with
+LogGP without a separate calibration pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import CostModel
+from .errors import ModelError
+from .params import ModelParams
+from .relations import CommPhase
+
+__all__ = ["LogPParams", "LogP", "LogGP", "logp_from_table1"]
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogP/LogGP parameter set, in microseconds."""
+
+    P: int
+    L: float
+    o: float
+    g: float
+    G: float = 0.0
+    w: int = 4  # small-message size in bytes
+
+    def __post_init__(self) -> None:
+        if self.P <= 0:
+            raise ModelError("LogP needs P >= 1")
+        for name in ("L", "o", "g", "G"):
+            if getattr(self, name) < 0:
+                raise ModelError(f"LogP parameter {name} must be >= 0")
+
+    @property
+    def capacity(self) -> int:
+        """The finite network capacity ``ceil(L / g)`` per processor."""
+        if self.g == 0:
+            return 1
+        return max(1, int(np.ceil(self.L / self.g)))
+
+
+class LogP(CostModel):
+    """The LogP model: fixed-size small messages only.
+
+    Messages larger than ``w`` bytes count as multiple small messages,
+    like under BSP — LogP has no long-message support, which is what
+    LogGP added.
+    """
+
+    name = "logp"
+
+    def __init__(self, params: ModelParams, lp: LogPParams):
+        super().__init__(params)
+        self.lp = lp
+
+    def _message_counts(self, phase: CommPhase) -> tuple[np.ndarray, np.ndarray]:
+        words = -(-phase.msg_bytes // self.lp.w) * phase.count
+        sent = np.bincount(phase.src, weights=words, minlength=phase.P)
+        recv = np.bincount(phase.dst, weights=words, minlength=phase.P)
+        return sent, recv
+
+    def comm_cost(self, phase: CommPhase) -> float:
+        if phase.is_empty:
+            return 0.0
+        lp = self.lp
+        sent, recv = self._message_counts(phase)
+        busy = lp.o * (sent + recv)
+        k = np.maximum(sent, recv)
+        stalls = np.maximum(k - 1, 0) * max(lp.g - lp.o, 0.0)
+        return float((busy + stalls).max()) + lp.L
+
+
+class LogGP(LogP):
+    """LogGP: LogP plus a per-byte gap ``G`` for long messages.
+
+    A message of ``m`` bytes costs its sender ``o + (m - w) G`` of
+    occupancy (and the same at the receiver), so bulk transfers amortise
+    the per-message overhead — the property that makes LogGP "have many
+    of the aspects of the MP-BPRAM" (paper §2.2).
+    """
+
+    name = "loggp"
+
+    def comm_cost(self, phase: CommPhase) -> float:
+        if phase.is_empty:
+            return 0.0
+        lp = self.lp
+        extra = np.maximum(phase.msg_bytes - lp.w, 0) * phase.count
+        sent_msgs = phase.sends_per_proc
+        recv_msgs = phase.recvs_per_proc
+        # The per-byte gap G occupies the *sending* interface (the
+        # receiver pays only its o at delivery) — standard LogGP
+        # accounting: a long message takes o + (m-1)G + L + o.
+        sent_bytes = np.bincount(phase.src, weights=extra, minlength=phase.P)
+        busy = lp.o * (sent_msgs + recv_msgs) + lp.G * sent_bytes
+        k = np.maximum(sent_msgs, recv_msgs)
+        stalls = np.maximum(k - 1, 0) * max(lp.g - lp.o, 0.0)
+        return float((busy + stalls).max()) + lp.L
+
+
+def logp_from_table1(params: ModelParams) -> LogPParams:
+    """Derive LogGP parameters from fitted (MP-)BSP / MP-BPRAM ones.
+
+    The mapping follows the models' definitions: one small message costs
+    a send plus a receive overhead, so ``o = g_bsp / 2``; the per-
+    processor gap equals the BSP per-message cost, ``g = g_bsp``; the
+    per-byte gap is the block-transfer rate, ``G = sigma``; the latency
+    takes BSP's ``L`` without its barrier component (half, as a
+    convention documented here).
+    """
+    return LogPParams(P=params.P, L=params.L / 2, o=params.g / 2,
+                      g=params.g, G=params.sigma, w=params.w)

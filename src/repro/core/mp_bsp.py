@@ -1,0 +1,60 @@
+"""The MP-BSP model — the paper's single-port BSP variant (§3.1).
+
+The MasPar MP-1 allows each PE at most one outstanding message, so the
+paper defines MP-BSP: computation alternates with *communication steps* in
+which every processor writes at most one word into another processor's
+memory.  A communication step in which processor ``i`` receives ``h_i``
+messages costs ``L + g * max_i h_i`` — i.e. every step is a 1-h relation.
+
+A superstep's communication phase is therefore priced as a *sequence of
+steps*.  If the algorithm supplied an explicit schedule (step tags on the
+message groups, as the staggered implementations of §4 do), the model
+prices exactly those steps; otherwise it assumes the canonical staggered
+schedule: ``h_s`` steps, each receiving ``ceil(h_r / h_s)`` messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CostModel
+from .relations import CommPhase
+
+__all__ = ["MPBSP"]
+
+
+class MPBSP(CostModel):
+    """Single-port BSP: each communication step costs ``L + g * h_step``."""
+
+    name = "mp-bsp"
+
+    def step_cost(self, substep: CommPhase) -> float:
+        """Cost of one scheduled step, decomposed into single-port sub-steps.
+
+        A processor sending ``s`` words in the step needs ``s`` sequential
+        word-level communication steps; with receives spread as evenly as
+        the schedule allows, the step costs ``s * (L + g * ceil(r / s))``
+        where ``r`` is the maximum words received by any processor.  The
+        common special cases reduce to the paper's charges: a permutation
+        costs ``L + g`` and a 1-h relation costs ``L + g * h``.
+        """
+        if substep.is_empty:
+            return 0.0
+        w = self.params.w
+        words = -(-substep.msg_bytes // w) * substep.count
+        sent = np.bincount(substep.src, weights=words, minlength=substep.P)
+        recv = np.bincount(substep.dst, weights=words, minlength=substep.P)
+        s = float(sent.max(initial=0))
+        r = float(recv.max(initial=0))
+        if s == 0:
+            return 0.0
+        return s * (self.params.L + self.params.g * float(np.ceil(r / s)))
+
+    def comm_cost(self, phase: CommPhase) -> float:
+        if phase.is_empty:
+            return 0.0
+        if phase.n_steps > 1:
+            return sum(self.step_cost(sub) for sub in phase.split_steps())
+        # A single (or no) schedule step prices identically either way:
+        # the canonical staggered decomposition of the whole phase.
+        return self.step_cost(phase)

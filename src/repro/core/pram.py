@@ -1,0 +1,27 @@
+"""The PRAM cost model (extension — the paper's point of departure).
+
+Section 1: "because the PRAM model does not capture communication cost,
+it does not discourage the design of parallel algorithms with huge
+amounts of interprocessor communication."  Pricing real traces with a
+PRAM — communication and synchronisation free, computation at the
+machine's ``alpha`` — quantifies exactly how wrong that is on each
+platform: the extension experiment shows PRAM underestimating a
+communication-bound sort by orders of magnitude on the GCel while being
+merely optimistic for compute-bound matmul on the CM-5.
+"""
+
+from __future__ import annotations
+
+from .base import CostModel
+from .relations import CommPhase
+
+__all__ = ["PRAM"]
+
+
+class PRAM(CostModel):
+    """Synchronous shared memory: communication costs nothing."""
+
+    name = "pram"
+
+    def comm_cost(self, phase: CommPhase) -> float:
+        return 0.0

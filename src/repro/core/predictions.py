@@ -1,0 +1,292 @@
+"""Closed-form running-time predictions from Section 4 of the paper.
+
+These are the exact algebraic expressions the paper derives for each
+algorithm under each model, parameterised by :class:`ModelParams`.  They
+serve two purposes:
+
+* they are the "predicted" curves of Figs. 3-6, 8-13 and 15;
+* tests cross-check them against trace-priced costs (pricing the actual
+  simulator trace with the corresponding :class:`CostModel`), which
+  validates both the algorithm implementations and the model pricers.
+
+All times are in microseconds.  ``flops_to_mflops`` converts to the
+Mflops axis used by Figs. 16, 19 and 20.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .errors import ModelError
+from .params import ModelParams, UnbalancedCost
+
+__all__ = [
+    "cube_root_procs",
+    "bsp_matmul",
+    "mp_bsp_matmul",
+    "bpram_matmul",
+    "local_sort_time",
+    "bsp_bitonic",
+    "mp_bsp_bitonic",
+    "bpram_bitonic",
+    "bsp_sample_sort",
+    "bpram_sample_sort",
+    "bsp_apsp",
+    "mp_bsp_apsp",
+    "ebsp_apsp_maspar",
+    "scatter_corrected_apsp",
+    "bsp_lu",
+    "lu_flops",
+    "flops_to_mflops",
+    "matmul_mflops",
+]
+
+
+def cube_root_procs(P: int) -> int:
+    """Return ``q`` with ``q**3 == P`` or raise (matmul needs ``P = q^3``)."""
+    q = round(P ** (1.0 / 3.0))
+    if q * q * q != P:
+        raise ModelError(f"matrix multiplication needs P = q^3, got P={P}")
+    return q
+
+
+def _ilog2(n: int) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ModelError(f"expected a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+# ----------------------------------------------------------------------
+# Matrix multiplication (paper §4.1)
+# ----------------------------------------------------------------------
+
+def bsp_matmul(N: int, p: ModelParams, P: int | None = None) -> float:
+    """``T = alpha N^3/P + beta N^2/q^2 + 3 g N^2/q^2 + 2 L`` (§4.1)."""
+    P = P or p.P
+    q = cube_root_procs(P)
+    words = N * N / q ** 2
+    return (p.alpha * N ** 3 / P + p.beta_copy * words
+            + 3.0 * p.g * words + 2.0 * p.L)
+
+
+def mp_bsp_matmul(N: int, p: ModelParams, P: int | None = None) -> float:
+    """``T = alpha N^3/P + beta N^2/q^2 + 3 (g+L) N^2/q^2`` (§4.1)."""
+    P = P or p.P
+    q = cube_root_procs(P)
+    words = N * N / q ** 2
+    return (p.alpha * N ** 3 / P + p.beta_copy * words
+            + 3.0 * (p.g + p.L) * words)
+
+
+def bpram_matmul(N: int, p: ModelParams, P: int | None = None) -> float:
+    """``T = alpha N^3/P + beta N^2/q^2 + 3 q (sigma w N^2/P + ell)`` (§4.1)."""
+    P = P or p.P
+    q = cube_root_procs(P)
+    words = N * N / q ** 2
+    return (p.alpha * N ** 3 / P + p.beta_copy * words
+            + 3.0 * q * (p.sigma * p.w * N * N / P + p.ell))
+
+
+# ----------------------------------------------------------------------
+# Sorting (paper §4.2, §4.3)
+# ----------------------------------------------------------------------
+
+def local_sort_time(n: float, p: ModelParams, *, bits: int = 32,
+                    radix_bits: int = 8) -> float:
+    """Radix-sort law ``(b/r)(beta 2^r + gamma n)`` (§4.2.1)."""
+    passes = -(-bits // radix_bits)
+    return passes * (p.sort_beta * (1 << radix_bits) + p.sort_gamma * n)
+
+
+def _bitonic_stages(P: int) -> float:
+    """``sum_{d=1}^{log P} d = 0.5 log P (log P + 1)`` merge steps."""
+    lg = _ilog2(P)
+    return 0.5 * lg * (lg + 1)
+
+
+def bsp_bitonic(M: int, p: ModelParams, P: int | None = None) -> float:
+    """``T_ls + sum_d d (alpha_m M + g M + L)`` (§4.2)."""
+    P = P or p.P
+    steps = _bitonic_stages(P)
+    return (local_sort_time(M, p)
+            + steps * (p.merge_alpha * M + p.g * M + p.L))
+
+
+def mp_bsp_bitonic(M: int, p: ModelParams, P: int | None = None) -> float:
+    """``T_ls + 0.5 log P (log P + 1)(alpha_m M + (g+L) M)`` (§4.2)."""
+    P = P or p.P
+    steps = _bitonic_stages(P)
+    return (local_sort_time(M, p)
+            + steps * (p.merge_alpha * M + (p.g + p.L) * M))
+
+
+def bpram_bitonic(M: int, p: ModelParams, P: int | None = None) -> float:
+    """``T_ls + 0.5 log P (log P + 1)(alpha_m M + sigma w M + ell)`` (§4.2)."""
+    P = P or p.P
+    steps = _bitonic_stages(P)
+    return (local_sort_time(M, p)
+            + steps * (p.merge_alpha * M + p.sigma * p.w * M + p.ell))
+
+
+def bsp_sample_sort(M: int, p: ModelParams, *, oversample: int,
+                    M_max: float | None = None, P: int | None = None) -> float:
+    """BSP sample sort: splitter + send + local-sort phases (§4.3).
+
+    ``M_max`` is the maximum bucket size; defaults to the expectation-style
+    bound ``M * (1 + sqrt(2 ln P / S))`` if not supplied from a run.
+    """
+    P = P or p.P
+    S = oversample
+    if S < 1:
+        raise ModelError("oversampling ratio must be >= 1")
+    if M_max is None:
+        M_max = M * (1.0 + math.sqrt(2.0 * math.log(max(P, 2)) / S))
+    t_splitter = bsp_bitonic(S, p, P) + p.g * (P - 1) + p.L
+    t_scan = 2.0 * (p.g * P + p.L)
+    t_send = (local_sort_time(M, p) + p.merge_alpha * (M + P)
+              + t_scan + p.g * M_max + p.L)
+    t_buckets = local_sort_time(M_max, p)
+    return t_splitter + t_send + t_buckets
+
+
+def bpram_sample_sort(M: int, p: ModelParams, *, oversample: int,
+                      M_max: float | None = None, P: int | None = None) -> float:
+    """MP-BPRAM sample sort with the block-transfer substeps of §4.3.1.
+
+    Splitter broadcast as a ``P x P`` transpose: ``2 sqrt(P)(sigma w
+    sqrt(P) + ell)``; multi-scan ``4 sqrt(P)(sigma w sqrt(P) + ell)``;
+    send-to-buckets ``4 sqrt(P)(4 sigma w N/P^1.5 + ell)``.
+    """
+    P = P or p.P
+    S = oversample
+    if M_max is None:
+        M_max = M * (1.0 + math.sqrt(2.0 * math.log(max(P, 2)) / S))
+    rootP = math.sqrt(P)
+    t_splitter = (bpram_bitonic(S, p, P)
+                  + 2.0 * rootP * (p.sigma * p.w * rootP + p.ell))
+    t_scan = 4.0 * rootP * (p.sigma * p.w * rootP + p.ell)
+    t_classify = local_sort_time(M, p) + p.merge_alpha * (M + P)
+    t_route = 4.0 * rootP * (4.0 * p.sigma * p.w * M / rootP + p.ell)
+    t_buckets = local_sort_time(M_max, p)
+    return t_splitter + t_scan + t_classify + t_route + t_buckets
+
+
+# ----------------------------------------------------------------------
+# All pairs shortest path (paper §4.4)
+# ----------------------------------------------------------------------
+
+def _apsp_geometry(N: int, P: int) -> tuple[int, int]:
+    rootP = math.isqrt(P)
+    if rootP * rootP != P:
+        raise ModelError(f"APSP needs a square processor grid, got P={P}")
+    if N % rootP:
+        raise ModelError(f"APSP needs sqrt(P) | N, got N={N}, sqrt(P)={rootP}")
+    return rootP, N // rootP
+
+
+def bsp_apsp(N: int, p: ModelParams, P: int | None = None) -> float:
+    """``T = alpha N^3 / P + 2 N T_bcast`` with the BSP broadcast (§4.4)."""
+    P = P or p.P
+    rootP, M = _apsp_geometry(N, P)
+    t_bcast = 2.0 * (p.g * M + p.L)
+    if M < rootP:
+        t_bcast += (p.g + p.L) * math.log2(rootP / M)
+    return p.alpha * N ** 3 / P + 2.0 * N * t_bcast
+
+
+def mp_bsp_apsp(N: int, p: ModelParams, P: int | None = None) -> float:
+    """APSP under MP-BSP: ``T_bcast = 2 (g+L) M`` (or the ``M < sqrt(P)`` form)."""
+    P = P or p.P
+    rootP, M = _apsp_geometry(N, P)
+    if M >= rootP:
+        t_bcast = 2.0 * (p.g + p.L) * M
+    else:
+        t_bcast = (p.g + p.L) * (2.0 * M + math.log2(rootP / M))
+    return p.alpha * N ** 3 / P + 2.0 * N * t_bcast
+
+
+def ebsp_apsp_maspar(N: int, p: ModelParams, unb: UnbalancedCost,
+                     P: int | None = None) -> float:
+    """APSP under the E-BSP MasPar variant (§4.4.1).
+
+    ``T_bcast = M T_unb(sqrt(P)) + M T_unb(P)`` for ``M >= sqrt(P)``; an
+    extra doubling phase of ``log(sqrt(P)/M)`` steps with ``2^i N`` active
+    PEs otherwise.
+    """
+    P = P or p.P
+    rootP, M = _apsp_geometry(N, P)
+    t_bcast = M * unb(rootP) + M * unb(P)
+    if M < rootP:
+        phases = int(math.log2(rootP / M))
+        t_bcast += sum(unb(min(P, (1 << i) * N)) for i in range(phases))
+    return p.alpha * N ** 3 / P + 2.0 * N * t_bcast
+
+
+def scatter_corrected_apsp(N: int, p: ModelParams, g_scatter: float,
+                           P: int | None = None) -> float:
+    """The paper's GCel repair: first broadcast superstep at ``g_mscat`` (§5.3)."""
+    P = P or p.P
+    rootP, M = _apsp_geometry(N, P)
+    t_bcast = (g_scatter * M + p.L) + (p.g * M + p.L)
+    if M < rootP:
+        t_bcast += (p.g + p.L) * math.log2(rootP / M)
+    return p.alpha * N ** 3 / P + 2.0 * N * t_bcast
+
+
+# ----------------------------------------------------------------------
+# LU decomposition (extension; same broadcast structure as APSP, §4.4)
+# ----------------------------------------------------------------------
+
+def bsp_lu(N: int, p: ModelParams, P: int | None = None, *,
+           g_bcast: float | None = None) -> float:
+    """Right-looking blocked LU under BSP (extension).
+
+    Per elimination step: a one-word pivot broadcast down a column, a
+    column-segment and a row-segment broadcast (single sender each, so
+    BSP charges the sender side ``g (sqrt(P)-1) l_k + L``), and the
+    trailing update whose *maximum* per-processor work is
+    ``l_k^2`` compound ops (the bottom-right block).
+
+    ``g_bcast`` substitutes a cheaper bandwidth factor for the broadcast
+    supersteps — the same repair as the paper's ``g_mscat`` for APSP
+    (§5.3): a single-sender broadcast is receive-bound on the GCel.
+    """
+    P = P or p.P
+    rootP, M = _apsp_geometry(N, P)
+    g_b = p.g if g_bcast is None else g_bcast
+    t = 0.0
+    for k in range(N - 1):
+        l_k = min(M, N - 1 - k)
+        # pivot word down the column (also a single-sender broadcast)
+        t += g_b * (rootP - 1) + p.L
+        # column and row segment broadcasts + multiplier division
+        t += 2.0 * (g_b * (rootP - 1) * l_k + p.L)
+        t += p.alpha * l_k  # the division a_ik / a_kk
+        # trailing update: the busiest processor updates an l_k x l_k tile
+        t += p.alpha * l_k * l_k
+    return t
+
+
+def lu_flops(N: int) -> float:
+    """Sequential compound-op count of LU, ``sum_k (N-1-k)^2 + (N-1-k)``."""
+    ks = np.arange(N - 1)
+    rem = N - 1 - ks
+    return float((rem * rem + rem).sum())
+
+
+# ----------------------------------------------------------------------
+# Mflops conversions (Figs. 16, 19, 20)
+# ----------------------------------------------------------------------
+
+def flops_to_mflops(flops: float, time_us: float) -> float:
+    """Aggregate Mflops given total flops and a time in microseconds."""
+    if time_us <= 0:
+        raise ModelError("time must be positive to compute a rate")
+    return flops / time_us
+
+
+def matmul_mflops(N: int, time_us: float) -> float:
+    """Matrix-multiplication rate, counting ``2 N^3`` flops (as the paper does)."""
+    return flops_to_mflops(2.0 * N ** 3, time_us)

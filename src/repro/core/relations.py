@@ -1,0 +1,320 @@
+"""Communication patterns and their vectorised analysis.
+
+The central objects of the paper are *communication patterns* and the ways
+the different models summarise them:
+
+* BSP sees an ``h``-relation: ``h = max(h_s, h_r)`` where ``h_s``/``h_r``
+  are the maximum number of messages sent/received by any processor;
+* MP-BPRAM sees a sequence of *block steps*, each processor sending and
+  receiving at most one (long) message per step;
+* E-BSP sees an ``(M, h1, h2)``-relation — at most ``h1`` sends and ``h2``
+  receives per processor, at most ``M`` messages in total.
+
+A :class:`CommPhase` stores the pattern of one superstep as *message
+groups* — ``count`` messages of ``msg_bytes`` bytes each from ``src`` to
+``dst`` — so a processor sending 4096 fine-grain words is one group, not
+4096 Python objects.  All analyses below are NumPy-vectorised over groups
+(per the hpc-parallel guides: no per-message Python loops on hot paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from .errors import TraceError
+
+__all__ = ["CommPhase", "Relation", "merge_phases"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """The E-BSP ``(M, h1, h2)`` summary of a communication pattern.
+
+    ``h1``/``h2`` are the maximum per-processor send/receive counts, ``M``
+    the total number of messages, ``active`` the number of processors that
+    send or receive at least one message.  A full h-relation is the special
+    case ``M = h * P`` and ``h1 = h2 = h`` (paper §2.3).
+    """
+
+    M: int
+    h1: int
+    h2: int
+    active: int
+
+    @property
+    def h(self) -> int:
+        """The plain-BSP summary ``h = max(h1, h2)``."""
+        return max(self.h1, self.h2)
+
+    def is_full_h_relation(self, P: int) -> bool:
+        return self.h1 == self.h2 and self.M == self.h1 * P
+
+
+@dataclass(frozen=True)
+class CommPhase:
+    """The communication pattern of one superstep, as message groups.
+
+    Parameters
+    ----------
+    P:
+        number of processors.
+    src, dst:
+        integer arrays of shape ``(G,)`` — endpoints of each group.
+    count:
+        messages per group (``>= 1``).
+    msg_bytes:
+        bytes per message in the group.
+    step:
+        schedule sub-step tag per group.  Single-port machines (MasPar)
+        route one sub-step at a time; ``-1`` means "no schedule given".
+    stagger:
+        whether the send order was staggered to avoid several processors
+        targeting the same destination simultaneously (paper §5.1 — the
+        unstaggered CM-5 matrix multiply runs 21% slower).
+    """
+
+    P: int
+    src: np.ndarray
+    dst: np.ndarray
+    count: np.ndarray
+    msg_bytes: np.ndarray
+    step: np.ndarray = field(default=None)  # type: ignore[assignment]
+    stagger: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", np.asarray(self.src, dtype=np.int64))
+        object.__setattr__(self, "dst", np.asarray(self.dst, dtype=np.int64))
+        object.__setattr__(self, "count", np.asarray(self.count, dtype=np.int64))
+        object.__setattr__(self, "msg_bytes", np.asarray(self.msg_bytes, dtype=np.int64))
+        if self.step is None:
+            object.__setattr__(self, "step", np.full(self.src.shape, -1, dtype=np.int64))
+        else:
+            object.__setattr__(self, "step", np.asarray(self.step, dtype=np.int64))
+        shapes = {a.shape for a in (self.src, self.dst, self.count, self.msg_bytes, self.step)}
+        if len(shapes) != 1 or any(a.ndim != 1 for a in (self.src,)):
+            raise TraceError(f"inconsistent group array shapes: {shapes}")
+        if self.P <= 0:
+            raise TraceError("CommPhase needs P >= 1")
+        if self.src.size:
+            if self.src.min() < 0 or self.src.max() >= self.P:
+                raise TraceError("message source out of range")
+            if self.dst.min() < 0 or self.dst.max() >= self.P:
+                raise TraceError("message destination out of range")
+            if self.count.min() < 1:
+                raise TraceError("group count must be >= 1")
+            if self.msg_bytes.min() < 0:
+                raise TraceError("message size must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, P: int) -> "CommPhase":
+        z = np.zeros(0, dtype=np.int64)
+        return cls(P=P, src=z, dst=z.copy(), count=z.copy(), msg_bytes=z.copy())
+
+    @classmethod
+    def permutation(cls, perm: np.ndarray, msg_bytes: int, *, P: int | None = None,
+                    step: int = -1, stagger: bool = True) -> "CommPhase":
+        """A (partial) permutation: processor ``i`` sends to ``perm[i]``.
+
+        Entries with ``perm[i] < 0`` or ``perm[i] == i`` are inactive.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        n = perm.size if P is None else P
+        mask = (perm >= 0) & (perm != np.arange(perm.size))
+        src = np.nonzero(mask)[0].astype(np.int64)
+        dst = perm[mask]
+        ones = np.ones(src.size, dtype=np.int64)
+        return cls(P=n, src=src, dst=dst, count=ones,
+                   msg_bytes=np.full(src.size, msg_bytes, dtype=np.int64),
+                   step=np.full(src.size, step, dtype=np.int64), stagger=stagger)
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.src.size == 0 or int(self.count.sum()) == 0
+
+    # ------------------------------------------------------------------
+    # Vectorised per-processor summaries
+    # ------------------------------------------------------------------
+    @cached_property
+    def sends_per_proc(self) -> np.ndarray:
+        """Messages sent by each processor; shape ``(P,)``."""
+        return np.bincount(self.src, weights=self.count, minlength=self.P).astype(np.int64)
+
+    @cached_property
+    def recvs_per_proc(self) -> np.ndarray:
+        """Messages received by each processor; shape ``(P,)``."""
+        return np.bincount(self.dst, weights=self.count, minlength=self.P).astype(np.int64)
+
+    @cached_property
+    def bytes_sent_per_proc(self) -> np.ndarray:
+        return np.bincount(self.src, weights=self.count * self.msg_bytes,
+                           minlength=self.P).astype(np.int64)
+
+    @cached_property
+    def bytes_recv_per_proc(self) -> np.ndarray:
+        return np.bincount(self.dst, weights=self.count * self.msg_bytes,
+                           minlength=self.P).astype(np.int64)
+
+    @property
+    def h_s(self) -> int:
+        """Maximum messages sent by any processor (BSP ``h_s``)."""
+        return int(self.sends_per_proc.max(initial=0))
+
+    @property
+    def h_r(self) -> int:
+        """Maximum messages received by any processor (BSP ``h_r``)."""
+        return int(self.recvs_per_proc.max(initial=0))
+
+    @property
+    def h(self) -> int:
+        return max(self.h_s, self.h_r)
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.count.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int((self.count * self.msg_bytes).sum())
+
+    @cached_property
+    def active_procs(self) -> int:
+        """Processors that send or receive at least one message."""
+        mask = (self.sends_per_proc > 0) | (self.recvs_per_proc > 0)
+        return int(mask.sum())
+
+    @cached_property
+    def senders(self) -> int:
+        return int((self.sends_per_proc > 0).sum())
+
+    @cached_property
+    def receivers(self) -> int:
+        return int((self.recvs_per_proc > 0).sum())
+
+    def relation(self) -> Relation:
+        """The E-BSP ``(M, h1, h2)`` summary of this phase."""
+        return Relation(M=self.total_messages, h1=self.h_s, h2=self.h_r,
+                        active=self.active_procs)
+
+    # ------------------------------------------------------------------
+    # Pattern classification
+    # ------------------------------------------------------------------
+    @cached_property
+    def is_partial_permutation(self) -> bool:
+        """True iff every processor sends <= 1 and receives <= 1 message."""
+        return self.h_s <= 1 and self.h_r <= 1
+
+    @cached_property
+    def cube_bit(self) -> int:
+        """If every message goes to ``src XOR 2**k`` for one fixed ``k``,
+        return ``k``; otherwise ``-1``.
+
+        This is the pattern of a bitonic merge step, which the MasPar
+        global router completes roughly twice as fast as a random
+        permutation (paper §5.1).  Message counts are irrelevant: a
+        repeated pairwise exchange with the same partner is still a cube
+        pattern.
+        """
+        if self.is_empty:
+            return -1
+        x = self.src ^ self.dst
+        first = int(x[0])
+        if first <= 0 or (first & (first - 1)) != 0:
+            return -1
+        if not bool(np.all(x == first)):
+            return -1
+        return int(first).bit_length() - 1
+
+    @cached_property
+    def max_fan_in(self) -> int:
+        """Largest number of *distinct senders* targeting one destination."""
+        if self.is_empty:
+            return 0
+        pair = self.src * self.P + self.dst
+        dsts = np.unique(pair) % self.P
+        return int(np.bincount(dsts, minlength=self.P).max(initial=0))
+
+    def dest_cluster_loads(self, cluster_size: int) -> np.ndarray:
+        """Messages entering each cluster of ``cluster_size`` processors.
+
+        The MasPar router has one channel per 16-PE cluster; the spread of
+        these loads is the source of the error bars in the paper's Fig. 1.
+        """
+        if cluster_size <= 0:
+            raise TraceError("cluster_size must be positive")
+        n_clusters = -(-self.P // cluster_size)
+        return np.bincount(self.dst // cluster_size, weights=self.count,
+                           minlength=n_clusters).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Schedule steps
+    # ------------------------------------------------------------------
+    @cached_property
+    def step_ids(self) -> np.ndarray:
+        """Sorted unique schedule sub-step tags present in the phase."""
+        return np.unique(self.step)
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.step_ids.size)
+
+    def split_steps(self) -> list["CommPhase"]:
+        """Split into one phase per schedule sub-step (sorted by tag).
+
+        Groups tagged ``-1`` form their own pseudo-step.  Single-port
+        machine models route sub-steps sequentially.
+        """
+        if self.n_steps <= 1:
+            return [self]
+        order = np.argsort(self.step, kind="stable")
+        sorted_steps = self.step[order]
+        bounds = np.nonzero(np.diff(sorted_steps))[0] + 1
+        pieces = np.split(order, bounds)
+        return [
+            CommPhase(P=self.P, src=self.src[idx], dst=self.dst[idx],
+                      count=self.count[idx], msg_bytes=self.msg_bytes[idx],
+                      step=self.step[idx], stagger=self.stagger)
+            for idx in pieces
+        ]
+
+
+def merge_phases(phases: list[CommPhase]) -> CommPhase:
+    """Concatenate several phases (same ``P``) into one.
+
+    Schedule tags are offset so steps of later phases follow steps of
+    earlier ones; the result is staggered only if every input was.
+    """
+    if not phases:
+        raise TraceError("merge_phases needs at least one phase")
+    P = phases[0].P
+    if any(ph.P != P for ph in phases):
+        raise TraceError("cannot merge phases with different P")
+    srcs, dsts, counts, sizes, steps = [], [], [], [], []
+    offset = 0
+    for ph in phases:
+        srcs.append(ph.src)
+        dsts.append(ph.dst)
+        counts.append(ph.count)
+        sizes.append(ph.msg_bytes)
+        tags = ph.step.copy()
+        tags[tags < 0] = 0
+        steps.append(tags + offset)
+        offset += int(tags.max(initial=0)) + 1
+    return CommPhase(
+        P=P,
+        src=np.concatenate(srcs),
+        dst=np.concatenate(dsts),
+        count=np.concatenate(counts),
+        msg_bytes=np.concatenate(sizes),
+        step=np.concatenate(steps),
+        stagger=all(ph.stagger for ph in phases),
+    )

@@ -1,0 +1,176 @@
+"""Local-computation work descriptors.
+
+Algorithms do not charge raw microseconds for local computation.  Instead
+they emit *work descriptors* — "multiply two b x b blocks", "radix-sort n
+keys" — which are priced twice:
+
+* by a **cost model** (:func:`nominal_time`) using the constant
+  coefficients of :class:`~repro.core.params.ModelParams` — this is what
+  the paper's closed-form predictions do (e.g. ``alpha * N^3 / P``);
+* by a **machine model** (:meth:`repro.machines.base.Machine.compute_time`)
+  which may deviate from the constants, e.g. the CM-5 local matrix multiply
+  slows down once the working set spills out of the 64 KB cache
+  (paper §5.1: "the primary source of error is in the local computation").
+
+Keeping work symbolic until pricing is what lets the reproduction show
+*why* predictions go wrong, rather than baking the answer in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ModelError
+from .params import ModelParams
+
+__all__ = [
+    "Work",
+    "Flops",
+    "MatmulBlock",
+    "RadixSort",
+    "Merge",
+    "Compare",
+    "Copy",
+    "Generic",
+    "nominal_time",
+]
+
+
+@dataclass(frozen=True)
+class Work:
+    """Base class for all work descriptors."""
+
+
+@dataclass(frozen=True)
+class Flops(Work):
+    """``n`` compound floating-point operations (one add + one multiply)."""
+
+    n: float
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ModelError("Flops count must be >= 0")
+
+
+@dataclass(frozen=True)
+class MatmulBlock(Work):
+    """A local dense matrix product ``(m x k) @ (k x n)``.
+
+    Carries the shape so machines can model cache behaviour; the nominal
+    cost is simply ``alpha * m * k * n``.
+    """
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) < 0:
+            raise ModelError("matmul block dimensions must be >= 0")
+
+    @property
+    def flops(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Bytes touched assuming 8-byte elements for all three operands."""
+        return 8 * (self.m * self.k + self.k * self.n + self.m * self.n)
+
+
+@dataclass(frozen=True)
+class RadixSort(Work):
+    """Radix sort of ``n`` keys of ``bits`` bits with ``radix_bits`` digits.
+
+    Priced as ``(bits/radix_bits) * (sort_beta * 2**radix_bits +
+    sort_gamma * n)`` — the empirical law of paper §4.2.1.
+    """
+
+    n: int
+    bits: int = 32
+    radix_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ModelError("RadixSort n must be >= 0")
+        if self.bits <= 0 or self.radix_bits <= 0:
+            raise ModelError("RadixSort bit widths must be positive")
+        if self.radix_bits > self.bits:
+            raise ModelError("radix_bits cannot exceed key width")
+
+    @property
+    def passes(self) -> int:
+        return -(-self.bits // self.radix_bits)  # ceil division
+
+
+@dataclass(frozen=True)
+class Merge(Work):
+    """A linear-time merge touching ``n`` keys (paper's bitonic merge step)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ModelError("Merge n must be >= 0")
+
+
+@dataclass(frozen=True)
+class Compare(Work):
+    """``n`` key comparisons / bucket classifications (sample sort §4.3)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ModelError("Compare n must be >= 0")
+
+
+@dataclass(frozen=True)
+class Copy(Work):
+    """Move ``n`` words between local buffers (the ``beta`` term of §4.1)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ModelError("Copy n must be >= 0")
+
+
+@dataclass(frozen=True)
+class Generic(Work):
+    """An opaque amount of local time, in microseconds.
+
+    Used for bookkeeping the models do not distinguish (loop overheads,
+    address arithmetic).  Both the nominal and machine price equal ``us``.
+    """
+
+    us: float
+
+    def __post_init__(self) -> None:
+        if self.us < 0:
+            raise ModelError("Generic time must be >= 0")
+
+
+def nominal_time(work: Work, params: ModelParams) -> float:
+    """Price ``work`` with the constant model coefficients, in microseconds.
+
+    This is the computation-cost function shared by all the paper's
+    closed-form predictions; machine models deliberately deviate from it.
+    """
+    if isinstance(work, Flops):
+        return params.alpha * work.n
+    if isinstance(work, MatmulBlock):
+        return params.alpha * work.flops
+    if isinstance(work, RadixSort):
+        return work.passes * (
+            params.sort_beta * (1 << work.radix_bits) + params.sort_gamma * work.n
+        )
+    if isinstance(work, Merge):
+        return params.merge_alpha * work.n
+    if isinstance(work, Compare):
+        return params.merge_alpha * work.n
+    if isinstance(work, Copy):
+        return params.beta_copy * work.n
+    if isinstance(work, Generic):
+        return work.us
+    raise ModelError(f"cannot price work descriptor of type {type(work).__name__}")

@@ -1,0 +1,14 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Run any of them with::
+
+    from repro.experiments import get
+    result = get("fig12").run(scale=0.5, seed=0)
+    print(result.passed)
+
+or from the command line: ``python -m repro run fig12``.
+"""
+
+from .base import Experiment, all_experiments, get, register
+
+__all__ = ["Experiment", "all_experiments", "get", "register"]

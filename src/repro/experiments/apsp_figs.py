@@ -1,0 +1,144 @@
+"""All-pairs-shortest-path figures: Figs. 12, 13 and 15."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms import apsp
+from ..core.predictions import (
+    bsp_apsp,
+    ebsp_apsp_maspar,
+    mp_bsp_apsp,
+    scatter_corrected_apsp,
+)
+from ..validation.compare import relative_errors
+from ..validation.series import ExperimentResult, Series
+from .base import register
+from .common import calibrated, machine_for, scaled_sizes
+
+
+def _measure(machine, Ns, seed):
+    return np.array([apsp.run(machine, N, seed=seed).time_us for N in Ns])
+
+
+@register("fig12", "All pairs shortest path on the MasPar",
+          "Fig. 12, Section 5.3")
+def fig12(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    # Full scale: P = 1024, N up to 512 (M = 16 < sqrt(P) = 32, like the
+    # paper).  Reduced scales shrink the machine, keeping M < sqrt(P).
+    if scale >= 0.99:
+        P, Ns = 1024, [128, 256, 512]
+    elif scale >= 0.5:
+        P, Ns = 256, [64, 128, 256]
+    else:
+        P, Ns = 64, [32, 64]
+    machine = machine_for("maspar", P=P, seed=seed)
+    cal = calibrated(machine, seed=seed)
+    params = cal.params
+    unb = cal.unb
+
+    measured = _measure(machine, Ns, seed)
+    pred_mpbsp = np.array([mp_bsp_apsp(N, params, P=P) for N in Ns])
+    pred_ebsp = np.array([ebsp_apsp_maspar(N, params, unb, P=P) for N in Ns])
+
+    result = ExperimentResult(
+        experiment="fig12",
+        title=f"APSP on the MasPar (P={P}): MP-BSP vs E-BSP vs measured",
+        x_label="N", y_label="time (us)")
+    result.series.append(Series("measured", Ns, measured))
+    result.series.append(Series("MP-BSP prediction", Ns, pred_mpbsp))
+    result.series.append(Series("E-BSP prediction", Ns, pred_ebsp))
+
+    over = pred_mpbsp[-1] / measured[-1] - 1
+    result.check("MP-BSP overestimates massively (paper: +78% at N=512)",
+                 over > 0.35, f"error {over:+.0%} at N={Ns[-1]}")
+    errs = relative_errors(result.get("measured"),
+                           result.get("E-BSP prediction"))
+    # E-BSP's closed form counts M single-port steps where M-1 happen, so
+    # it overestimates at tiny M; judge it at the largest N (the paper's
+    # headline point) plus a loose mean over the sweep.
+    tol = 0.25 if P >= 256 else 0.40
+    result.check("E-BSP gives a much better estimation (largest N)",
+                 abs(float(errs[-1])) < tol,
+                 f"E-BSP err at N={Ns[-1]}: {float(errs[-1]):+.1%}")
+    result.check("E-BSP reasonable across the sweep",
+                 float(np.abs(errs).mean()) < 0.45,
+                 f"mean |E-BSP err| = {float(np.abs(errs).mean()):.1%}")
+    result.check("E-BSP beats MP-BSP at every point",
+                 bool(np.all(np.abs(pred_ebsp - measured)
+                             < np.abs(pred_mpbsp - measured))), "")
+    result.notes.append(
+        "The defect is unbalanced communication: the scatter superstep "
+        "activates only sqrt(P) PEs, which BSP prices like a full "
+        "h-relation (Section 5.3).")
+    if P == 1024 and 512 in Ns:
+        i = Ns.index(512)
+        result.notes.append(
+            f"paper at N=512: predicted 53.9 s, measured 30.3 s; "
+            f"ours: predicted {pred_mpbsp[i] / 1e6:.1f} s, "
+            f"measured {measured[i] / 1e6:.1f} s")
+    return result
+
+
+@register("fig13", "All pairs shortest path on the GCel",
+          "Fig. 13, Section 5.3")
+def fig13(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    machine = machine_for("gcel", seed=seed)
+    cal = calibrated(machine, seed=seed)
+    params = cal.params
+    g_mscat = cal.g_scatter or params.g / 9.1
+    # multiples of 32 keep M = N/8 either >= 8 or a power-of-two divisor
+    Ns = scaled_sizes([32, 64, 128, 256], scale, multiple=32)
+
+    measured = _measure(machine, Ns, seed)
+    pred_bsp = np.array([bsp_apsp(N, params) for N in Ns])
+    pred_fix = np.array([scatter_corrected_apsp(N, params, g_mscat)
+                         for N in Ns])
+
+    result = ExperimentResult(
+        experiment="fig13",
+        title="APSP on the GCel: BSP vs scatter-corrected vs measured",
+        x_label="N", y_label="time (us)")
+    result.series.append(Series("measured", Ns, measured))
+    result.series.append(Series("BSP prediction", Ns, pred_bsp))
+    result.series.append(Series("BSP with g_mscat", Ns, pred_fix))
+
+    over = float((pred_bsp / measured).mean())
+    result.check("plain BSP substantially overestimates",
+                 over > 1.4, f"mean ratio {over:.2f}")
+    errs = relative_errors(result.get("measured"),
+                           result.get("BSP with g_mscat"))
+    result.check("using g_mscat for the scatter superstep closely matches",
+                 float(np.abs(errs).max()) < 0.15,
+                 f"max |err| = {float(np.abs(errs).max()):.1%}")
+    return result
+
+
+@register("fig15", "All pairs shortest path on the CM-5",
+          "Fig. 15, Section 5.3")
+def fig15(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    machine = machine_for("cm5", seed=seed)
+    params = calibrated(machine, seed=seed).params
+    Ns = scaled_sizes([64, 128, 256], scale, multiple=32)
+
+    measured = _measure(machine, Ns, seed)
+    predicted = np.array([bsp_apsp(N, params) for N in Ns])
+
+    result = ExperimentResult(
+        experiment="fig15",
+        title="APSP on the CM-5: measured vs BSP prediction",
+        x_label="N", y_label="time (us)")
+    result.series.append(Series("measured", Ns, measured))
+    result.series.append(Series("BSP prediction", Ns, predicted))
+
+    errs = relative_errors(result.get("measured"),
+                           result.get("BSP prediction"))
+    result.check("BSP predicts accurately on the fat tree "
+                 "(scatters are not much cheaper there)",
+                 float(np.abs(errs).max()) < 0.25,
+                 f"max |err| = {float(np.abs(errs).max()):.1%}")
+    result.notes.append(
+        "Compare the +78% (MasPar) and ~2x (GCel) errors: only high-"
+        "bandwidth networks price partial h-relations like full ones "
+        "(Section 8).")
+    return result

@@ -1,0 +1,81 @@
+"""Experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.errors import ExperimentError
+from ..validation.series import ExperimentResult
+
+__all__ = ["Experiment", "register", "get", "all_experiments"]
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    id: str
+    title: str
+    paper_ref: str
+    runner: Runner
+
+    def run(self, *, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+        if not 0 < scale <= 1.0:
+            raise ExperimentError(
+                f"scale must be in (0, 1], got {scale}")
+        return self.runner(scale=scale, seed=seed)
+
+
+def register(exp_id: str, title: str, paper_ref: str):
+    """Decorator registering an experiment runner under ``exp_id``."""
+
+    def deco(fn: Runner) -> Runner:
+        if exp_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = Experiment(id=exp_id, title=title,
+                                       paper_ref=paper_ref, runner=fn)
+        return fn
+
+    return deco
+
+
+def get(exp_id: str) -> Experiment:
+    _load_all()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def all_experiments() -> dict[str, Experiment]:
+    _load_all()
+    return dict(sorted(_REGISTRY.items(), key=lambda kv: _sort_key(kv[0])))
+
+
+def _sort_key(exp_id: str):
+    if exp_id.startswith("fig"):
+        return (1, int(exp_id[3:].split("-")[0]), exp_id)
+    if exp_id.startswith("table"):
+        return (0, 0, exp_id)
+    return (2, 0, exp_id)
+
+
+def _load_all() -> None:
+    """Import every experiment module so its registrations run."""
+    from . import (  # noqa: F401
+        ablations,
+        calibration_figs,
+        extensions,
+        matmul_figs,
+        apsp_figs,
+        sorting_figs,
+        library_figs,
+        table1_exp,
+    )

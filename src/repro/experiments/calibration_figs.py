@@ -1,0 +1,160 @@
+"""Microbenchmark figures: Figs. 1, 2, 7 and 14."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..calibration import (
+    fit_line,
+    fit_unbalanced,
+    full_h_relation_experiment,
+    hh_permutation_experiment,
+    multinode_scatter_experiment,
+    one_h_relation_experiment,
+    partial_permutation_experiment,
+)
+from ..validation.series import ExperimentResult, Series
+from .base import register
+from .common import machine_for
+
+
+@register("fig1", "Time for routing 1-h relations on the MasPar MP-1",
+          "Fig. 1, Section 3.1")
+def fig1(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    machine = machine_for("maspar", seed=seed)
+    rng = np.random.default_rng(seed)
+    trials = max(10, int(100 * scale))
+    hs = np.array([1, 2, 4, 8, 16, 32])
+    series = one_h_relation_experiment(machine, hs, trials=trials, rng=rng)
+    fit = fit_line(series)
+
+    result = ExperimentResult(
+        experiment="fig1", title="1-h relations on the MasPar",
+        x_label="h", y_label="time (us)")
+    result.series.append(Series("measured (mean)", hs, series.mean))
+    result.series.append(Series("measured (min)", hs, series.lo))
+    result.series.append(Series("measured (max)", hs, series.hi))
+    result.series.append(Series("fit g*h+L", hs, fit(hs)))
+
+    result.check("fitted g near Table 1's 32.2",
+                 25 < fit.slope < 42, f"g = {fit.slope:.1f}")
+    result.check("fitted L near Table 1's 1400",
+                 1100 < fit.intercept < 1600, f"L = {fit.intercept:.0f}")
+    result.check("behaviour not perfectly linear: h=1 lies below the fit",
+                 series.mean[0] < fit(1.0),
+                 f"measured {series.mean[0]:.0f} vs fit {fit(1.0):.0f} "
+                 "(the ~1300 vs ~1430 gap of Section 5.1)")
+    spread = float((series.hi - series.lo).max())
+    result.check("cluster conflicts produce visible variation (error bars)",
+                 spread > 20, f"max spread {spread:.0f} us")
+    result.notes.append(
+        "Variation stems from one router channel per 16-PE cluster: "
+        "destinations landing in one cluster serialise (Section 3.1).")
+    return result
+
+
+@register("fig2", "Partial permutations vs active PEs on the MasPar",
+          "Fig. 2, Section 3.1")
+def fig2(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    machine = machine_for("maspar", seed=seed)
+    rng = np.random.default_rng(seed)
+    trials = max(10, int(100 * scale))
+    actives = np.unique(np.geomspace(8, machine.P, 14).astype(int))
+    series = partial_permutation_experiment(machine, actives, trials=trials,
+                                            rng=rng)
+    unb, r2 = fit_unbalanced(series)
+
+    result = ExperimentResult(
+        experiment="fig2",
+        title="Partial permutations as a function of active PEs",
+        x_label="active PEs", y_label="time (us)")
+    result.series.append(Series("measured", actives, series.mean))
+    result.series.append(Series("fit a*P' + b*sqrt(P') + c", actives,
+                                [unb(a) for a in actives]))
+
+    full = series.mean[-1]
+    idx32 = int(np.argmin(np.abs(actives - 32)))
+    ratio = series.mean[idx32] / full
+    result.check("32 active PEs take ~13% of a full permutation",
+                 abs(ratio - 0.13) < 0.05, f"ratio {ratio:.3f}")
+    result.check("second-order fit is good (paper fits T_unb this way)",
+                 r2 > 0.995, f"R^2 = {r2:.5f}")
+    result.check("fitted coefficients near the paper's 0.84/11.8/73.3",
+                 abs(unb.a - 0.84) < 0.2 and abs(unb.b - 11.8) < 6,
+                 f"a={unb.a:.2f} b={unb.b:.1f} c={unb.c:.1f}")
+    result.notes.append(
+        f"T_unb(P') = {unb.a:.2f} P' + {unb.b:.1f} sqrt(P') + {unb.c:.1f}")
+    return result
+
+
+@register("fig7", "h-h permutations vs random h-relations on the GCel",
+          "Fig. 7, Section 5.1")
+def fig7(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    hs = np.array([50, 100, 200, 300, 400, 600, 800, 1000])
+    if scale < 1.0:
+        hs = hs[: max(4, int(len(hs) * scale))]
+    trials = max(2, int(3 * scale))
+
+    machine = machine_for("gcel", seed=seed)
+    rel = full_h_relation_experiment(machine, hs, trials=trials, rng=rng)
+    plain = hh_permutation_experiment(machine_for("gcel", seed=seed + 1), hs,
+                                      rng=np.random.default_rng(seed + 1),
+                                      sync_every=None, trials=trials)
+    synced = hh_permutation_experiment(machine_for("gcel", seed=seed + 2), hs,
+                                       rng=np.random.default_rng(seed + 2),
+                                       sync_every=256, trials=trials)
+
+    result = ExperimentResult(
+        experiment="fig7",
+        title="h-h permutations vs h-relations on the GCel (PVM)",
+        x_label="h", y_label="time (us)")
+    result.series.append(Series("random h-relations", hs, rel.mean))
+    result.series.append(Series("h-h permutations", hs, plain.mean))
+    result.series.append(Series("h-h + barrier every 256", hs, synced.mean))
+
+    # below the drift window the three curves track each other
+    low = hs <= 200
+    ratio_low = float((plain.mean[low] / rel.mean[low]).mean())
+    result.check("below h~300, h-h permutations track h-relations",
+                 0.85 < ratio_low < 1.15, f"mean ratio {ratio_low:.2f}")
+    if hs.max() >= 600:
+        high = hs >= 600
+        ratio_high = float((plain.mean[high] / rel.mean[high]).mean())
+        result.check("beyond the window, times elevate (drift out of sync)",
+                     ratio_high > 1.15, f"mean ratio {ratio_high:.2f}")
+        ratio_sync = float((synced.mean[high] / rel.mean[high]).mean())
+        result.check("a barrier every 256 messages eliminates the drop",
+                     ratio_sync < min(ratio_high, 1.25),
+                     f"synced ratio {ratio_sync:.2f}")
+    return result
+
+
+@register("fig14", "Full h-relations vs multinode scatter on the GCel",
+          "Fig. 14, Section 5.3")
+def fig14(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    machine = machine_for("gcel", seed=seed)
+    rng = np.random.default_rng(seed)
+    hs = np.array([16, 32, 64, 128, 256])
+    trials = max(2, int(5 * scale))
+    rel = full_h_relation_experiment(machine, hs, trials=trials, rng=rng)
+    scat = multinode_scatter_experiment(machine, hs, trials=trials, rng=rng)
+
+    result = ExperimentResult(
+        experiment="fig14",
+        title="Full h-relations vs multinode scatters on the GCel",
+        x_label="h", y_label="time (us)")
+    result.series.append(Series("full h-relations", hs, rel.mean))
+    result.series.append(Series("multinode scatter", hs, scat.mean))
+
+    g_rel = fit_line(rel).slope
+    g_mscat = fit_line(scat).slope
+    factor = g_rel / g_mscat
+    result.check("scatter much cheaper than a full h-relation "
+                 "(paper: up to 9.1x)", 5 < factor < 12,
+                 f"factor {factor:.1f} (g={g_rel:.0f}, "
+                 f"g_mscat={g_mscat:.0f}; paper 4480 vs 492)")
+    result.notes.append(
+        "BSP charges both patterns identically; this gap is what breaks "
+        "the GCel APSP prediction (Fig. 13).")
+    return result

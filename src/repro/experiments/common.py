@@ -1,0 +1,53 @@
+"""Shared helpers for experiment modules.
+
+The important convention: every prediction curve in an experiment uses
+*calibrated* parameters (fitted from microbenchmarks on the very machine
+instance the experiment runs on, :mod:`repro.calibration`), exactly as
+the paper first determines Table 1 (Section 3) and then predicts with it
+(Section 5).  Calibrations are memoised per (machine, partition, seed).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..calibration.table1 import Calibration, calibrate
+from ..machines import CM5, GCel, MasParMP1, T800Grid
+from ..machines.base import Machine
+
+__all__ = ["machine_for", "calibrated", "scaled_sizes"]
+
+
+def machine_for(name: str, *, P: int | None = None, seed: int = 0) -> Machine:
+    """A fresh machine instance for one experiment run."""
+    if name == "maspar":
+        return MasParMP1(P=P or 1024, seed=seed)
+    if name == "gcel":
+        return GCel(P=P or 64, seed=seed)
+    if name == "cm5":
+        return CM5(P=P or 64, seed=seed)
+    if name == "t800":
+        return T800Grid(P=P or 64, seed=seed)
+    raise ValueError(f"unknown machine {name!r}")
+
+
+@lru_cache(maxsize=32)
+def _calibration(name: str, P: int, seed: int) -> Calibration:
+    return calibrate(machine_for(name, P=P, seed=seed + 1000), seed=seed)
+
+
+def calibrated(machine: Machine, *, seed: int = 0) -> Calibration:
+    """Memoised Section-3 calibration of a machine configuration."""
+    return _calibration(machine.name, machine.P, seed)
+
+
+def scaled_sizes(sizes: list[int], scale: float, *, multiple: int = 1,
+                 minimum: int | None = None) -> list[int]:
+    """Scale a sweep down, snapping to a multiple, dropping duplicates."""
+    minimum = minimum if minimum is not None else multiple
+    out: list[int] = []
+    for s in sizes:
+        v = max(minimum, int(round(s * scale / multiple)) * multiple)
+        if v not in out:
+            out.append(v)
+    return out

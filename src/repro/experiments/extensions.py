@@ -1,0 +1,430 @@
+"""Extension experiments beyond the paper's figures.
+
+``ext-models`` prices the *same executions* under six cost models —
+PRAM, LogP, LogGP, BSP, MP-BSP and MP-BPRAM — quantifying the paper's
+narrative claims:
+
+* PRAM "does not discourage ... huge amounts of interprocessor
+  communication" (§1): it underestimates a communication-bound sort by
+  orders of magnitude;
+* LogP prices fine-grain traffic like BSP but has no long messages, so
+  it mis-prices block workloads the way BSP does;
+* LogGP "has many of the aspects of the MP-BPRAM" (§2.2) and tracks it
+  closely on block workloads.
+
+``ext-sensitivity`` sweeps one machine parameter (the GCel per-message
+software cost) and shows how the paper's headline conclusion — bulk
+transfer is "an absolute requirement" on this architecture (§6) —
+weakens as messaging gets cheaper, reproducing §8's point that the
+needed model features are properties of the machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms import bitonic
+from ..core.bpram import MPBPRAM
+from ..core.bsp import BSP
+from ..core.logp import LogGP, LogP, logp_from_table1
+from ..core.pram import PRAM
+from ..machines import GCel
+from ..validation.series import ExperimentResult, Series
+from .base import register
+from .common import calibrated, machine_for, scaled_sizes
+
+
+@register("ext-models", "Six models price the same sort (extension)",
+          "extension of Sections 1, 2.2 and 6")
+def ext_models(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    machine = machine_for("gcel", seed=seed)
+    params = calibrated(machine, seed=seed).params
+    lp = logp_from_table1(params)
+    models = [PRAM(params), LogP(params, lp), LogGP(params, lp),
+              BSP(params), MPBPRAM(params)]
+
+    Ms = scaled_sizes([256, 512, 1024, 2048], scale, multiple=128)
+    meas_blk, meas_word = [], []
+    predictions: dict[str, list[float]] = {m.name: [] for m in models}
+    for M in Ms:
+        res = bitonic.run(machine, M, variant="bpram", seed=seed)
+        meas_blk.append(res.time_us / M)
+        for model in models:
+            predictions[model.name].append(model.trace_cost(res.trace) / M)
+        word = bitonic.run(machine_for("gcel", seed=seed + 1), M,
+                           variant="bsp-sync", seed=seed)
+        meas_word.append(word.time_us / M)
+
+    result = ExperimentResult(
+        experiment="ext-models",
+        title="MP-BPRAM bitonic sort on the GCel, priced by six models",
+        x_label="keys per node (M)", y_label="time per key (us)")
+    result.series.append(Series("measured (block)", Ms, meas_blk))
+    result.series.append(Series("measured (word, sync)", Ms, meas_word))
+    for name, ys in predictions.items():
+        result.series.append(Series(name, Ms, ys))
+
+    blk = np.array(meas_blk)
+    word = np.array(meas_word)
+    pram = np.array(predictions["pram"])
+    loggp = np.array(predictions["loggp"])
+    logp = np.array(predictions["logp"])
+    bpram = np.array(predictions["mp-bpram"])
+
+    result.check("PRAM underestimates the fine-grain sort by >50x (§1)",
+                 bool(np.all(pram < word / 50)),
+                 f"PRAM {pram[-1]:.0f} vs measured {word[-1]:.0f} us/key")
+    result.check("LogGP tracks MP-BPRAM on block workloads (§2.2)",
+                 float(np.abs(loggp / bpram - 1).max()) < 0.25,
+                 f"max |loggp/bpram - 1| = "
+                 f"{float(np.abs(loggp / bpram - 1).max()):.0%}")
+    result.check("LogGP within 50% of the block measurement",
+                 float(np.abs(loggp / blk - 1).max()) < 0.5,
+                 f"max |err| = {float(np.abs(loggp / blk - 1).max()):.0%}")
+    result.check("LogP, lacking long messages, misprices the block trace "
+                 "the way BSP does", bool(np.all(logp > 5 * blk)),
+                 f"LogP {logp[-1]:.0f} vs measured {blk[-1]:.0f} us/key")
+    return result
+
+
+@register("ext-primitives", "Optimal BSP collectives: strategy crossover "
+          "(extension)", "extension of reference [16] (IPL '95)")
+def ext_primitives(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    from ..algorithms.collectives import broadcast
+    from ..simulator import run_spmd
+
+    machine_name = "cm5"
+    machine = machine_for(machine_name, seed=seed)
+    params = calibrated(machine, seed=seed).params
+    P = machine.P
+    ns = [int(v) for v in
+          np.array([64, 256, 1024, 4096, 16384]) * max(scale, 0.25)]
+    ns = sorted({max(P, (n // P) * P) for n in ns})
+
+    def bcast_time(n, strategy):
+        vec = np.zeros(n)
+
+        def prog(ctx):
+            out = yield from broadcast(
+                ctx, vec if ctx.rank == 0 else None, 0, "b", strategy)
+            return out
+
+        return run_spmd(machine_for(machine_name, seed=seed), prog).time_us
+
+    naive = np.array([bcast_time(n, "naive") for n in ns])
+    smart = np.array([bcast_time(n, "two-phase") for n in ns])
+    pred_naive = np.array([params.g * n * (P - 1) + params.L for n in ns])
+    pred_smart = np.array([2 * (params.g * n * (P - 1) / P + params.L)
+                           for n in ns])
+
+    result = ExperimentResult(
+        experiment="ext-primitives",
+        title=f"Vector broadcast strategies on the {machine_name.upper()}",
+        x_label="vector length (words)", y_label="time (us)")
+    result.series.append(Series("naive measured", ns, naive))
+    result.series.append(Series("naive BSP prediction", ns, pred_naive))
+    result.series.append(Series("two-phase measured", ns, smart))
+    result.series.append(Series("two-phase BSP prediction", ns, pred_smart))
+
+    result.check("two-phase wins for large vectors (bandwidth-bound)",
+                 float(smart[-1]) < 0.5 * float(naive[-1]),
+                 f"{smart[-1]:.0f} vs {naive[-1]:.0f} us at n={ns[-1]}")
+    errs = np.abs(smart / pred_smart - 1)
+    result.check("BSP prices the two-phase broadcast well on the fat tree",
+                 float(errs.max()) < 0.30,
+                 f"max |err| = {float(errs.max()):.0%}")
+    # naive's single-sender pattern is exactly the unbalanced case: on
+    # the injection-limited CM-5 BSP stays close, which is why the paper
+    # saw no scatter anomaly there.
+    errs_n = np.abs(naive / pred_naive - 1)
+    result.check("even the single-sender pattern is priced fairly here",
+                 float(errs_n.max()) < 0.35,
+                 f"max |err| = {float(errs_n.max()):.0%}")
+    result.notes.append(
+        "On the GCel the naive broadcast is receive-bound and BSP "
+        "overprices it ~8x — the same effect as Figs. 13/14.")
+    return result
+
+
+@register("ext-misranking", "BSP picks the wrong algorithm (extension)",
+          "extension of Section 6 (the [18] misranking example)")
+def ext_misranking(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Section 6: "by ignoring unbalanced communication the BSP model may
+    incorrectly predict that one algorithm is superior to another."
+
+    The task is APSP's building block on the GCel: each processor-row
+    owner must broadcast an ``M``-word segment along its row.  Two
+    designs:
+
+    * **direct** — the owner sends the whole segment to each of the
+      ``sqrt(P)-1`` row-mates.  BSP sees ``h = M (sqrt(P)-1)`` and hates
+      it; on the machine the pattern is receive-bound (every receiver
+      handles only ``M`` messages), so it costs ~``c_recv M``.
+    * **scatter+allgather** — the paper's two-superstep scheme.  BSP
+      sees ``h = M`` twice and prefers it ~3.5x; but the allgather is a
+      genuinely balanced pattern that really does cost ``g M``.
+
+    BSP ranks scatter+allgather far ahead; the measurement reverses the
+    verdict; pricing the unbalanced phases correctly (ScatterAwareBSP)
+    restores the true ranking.
+    """
+    import math
+
+    from ..algorithms.apsp import _broadcast_line
+    from ..core.ebsp import ScatterAwareBSP
+    from ..simulator import run_spmd
+
+    machine = machine_for("gcel", seed=seed)
+    cal = calibrated(machine, seed=seed)
+    params = cal.params
+    flat = BSP(params)
+    aware = ScatterAwareBSP(params, g_scatter=cal.g_scatter
+                            or params.g / 9.1)
+    side = math.isqrt(machine.P)
+    M = max(side, int(64 * scale) // side * side)
+    w = params.w
+
+    def direct_prog(ctx):
+        r, c = divmod(ctx.rank, side)
+        if c == 0:
+            seg = np.arange(M, dtype=float) + r
+            for s in range(1, side):
+                ctx.put(r * side + s, seg, nbytes=M * w, count=M,
+                        tag="seg", step=s)
+        yield ctx.sync("direct-bcast")
+        if c == 0:
+            return np.arange(M, dtype=float) + r
+        return np.asarray(ctx.get(src=r * side, tag="seg"))
+
+    def two_phase_prog(ctx):
+        r, c = divmod(ctx.rank, side)
+        seg = (np.arange(M, dtype=float) + r) if c == 0 else None
+        out = yield from _broadcast_line(
+            ctx, seg, owner_line=0, line=c,
+            addr=lambda ll: r * side + ll, side=side, M=M, tag="b")
+        return out
+
+    results = {}
+    for strategy, prog in (("direct", direct_prog),
+                           ("two-phase", two_phase_prog)):
+        res = run_spmd(machine_for("gcel", seed=seed), prog)
+        # both must actually deliver the segment
+        expected0 = np.arange(M, dtype=float)
+        assert np.allclose(res.returns[1], expected0)
+        results[strategy] = {
+            "measured": res.time_us,
+            "bsp": flat.trace_cost(res.trace),
+            "aware": aware.trace_cost(res.trace),
+        }
+
+    xs = [0, 1]
+    result = ExperimentResult(
+        experiment="ext-misranking",
+        title=f"Row-broadcast of {M} words on the GCel: who is faster?",
+        x_label="strategy (0=direct, 1=scatter+allgather)",
+        y_label="time (us)")
+    for key, label in (("measured", "measured"), ("bsp", "BSP prediction"),
+                       ("aware", "scatter-aware prediction")):
+        result.series.append(Series(label, xs,
+                                    [results["direct"][key],
+                                     results["two-phase"][key]]))
+
+    result.check("BSP ranks scatter+allgather as far superior",
+                 results["direct"]["bsp"]
+                 > 2.5 * results["two-phase"]["bsp"],
+                 f"BSP: direct {results['direct']['bsp']:.0f} vs "
+                 f"two-phase {results['two-phase']['bsp']:.0f} us")
+    result.check("the measurement reverses the verdict (misranking!)",
+                 results["direct"]["measured"]
+                 < results["two-phase"]["measured"],
+                 f"measured: direct {results['direct']['measured']:.0f} "
+                 f"vs two-phase {results['two-phase']['measured']:.0f} us")
+    result.check("pricing unbalanced patterns correctly restores the "
+                 "right ranking",
+                 results["direct"]["aware"]
+                 < results["two-phase"]["aware"],
+                 f"aware: direct {results['direct']['aware']:.0f} vs "
+                 f"two-phase {results['two-phase']['aware']:.0f} us")
+    return result
+
+
+@register("ext-lu", "LU decomposition: a harder-to-parallelise problem "
+          "(extension)", "extension of Sections 4.4 and 8")
+def ext_lu(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    from ..algorithms import lu, matmul
+    from ..core.predictions import bsp_lu, lu_flops
+
+    Ns = scaled_sizes([64, 128, 256], scale, multiple=32)
+    gcel = machine_for("gcel", seed=seed)
+    cal_g = calibrated(gcel, seed=seed)
+    cm5 = machine_for("cm5", seed=seed)
+    cal_c = calibrated(cm5, seed=seed)
+    g_bcast = (cal_g.g_scatter or cal_g.params.g / 9.1)
+
+    meas_g, pred_g, fix_g, meas_c, pred_c = [], [], [], [], []
+    for N in Ns:
+        res_g = lu.run(gcel, N, seed=seed)
+        meas_g.append(res_g.time_us)
+        pred_g.append(bsp_lu(N, cal_g.params))
+        fix_g.append(bsp_lu(N, cal_g.params, g_bcast=g_bcast))
+        res_c = lu.run(cm5, N, seed=seed)
+        meas_c.append(res_c.time_us)
+        pred_c.append(bsp_lu(N, cal_c.params))
+    meas_g, pred_g, fix_g = map(np.array, (meas_g, pred_g, fix_g))
+    meas_c, pred_c = np.array(meas_c), np.array(pred_c)
+
+    result = ExperimentResult(
+        experiment="ext-lu",
+        title="LU decomposition: measured vs predicted (GCel and CM-5)",
+        x_label="N", y_label="time (us)")
+    result.series.append(Series("GCel measured", Ns, meas_g))
+    result.series.append(Series("GCel BSP", Ns, pred_g))
+    result.series.append(Series("GCel BSP + g_bcast", Ns, fix_g))
+    result.series.append(Series("CM-5 measured", Ns, meas_c))
+    result.series.append(Series("CM-5 BSP", Ns, pred_c))
+
+    over = float((pred_g / meas_g).mean())
+    result.check("BSP overestimates the GCel badly (single-sender "
+                 "broadcasts are receive-bound, like APSP's scatter)",
+                 over > 3.0, f"mean ratio {over:.1f}")
+    errs_fix = np.abs(fix_g / meas_g - 1)
+    result.check("the g_mscat-style correction repairs it",
+                 float(errs_fix.max()) < 0.30,
+                 f"max |err| = {float(errs_fix.max()):.0%}")
+    errs_c = np.abs(pred_c / meas_c - 1)
+    result.check("BSP stays accurate on the CM-5 fat tree",
+                 float(errs_c.max()) < 0.35,
+                 f"max |err| = {float(errs_c.max()):.0%}")
+
+    # the Section 8 question: efficiency on a harder problem
+    N = Ns[-1]
+    t_lu = meas_c[-1]
+    eff_lu = (lu_flops(N) * cal_c.params.alpha) / (64 * t_lu)
+    mm = matmul.run(cm5, max(64, N // 16 * 16), variant="bpram", seed=seed)
+    eff_mm = (mm.setup.N ** 3 * cal_c.params.alpha) / (64 * mm.time_us)
+    result.check("LU's parallel efficiency is far below matmul's "
+                 "(the paper's closing question, answered)",
+                 eff_lu < 0.6 * eff_mm,
+                 f"efficiency {eff_lu:.0%} (LU) vs {eff_mm:.0%} (matmul)")
+    result.notes.append(
+        "LU's shrinking, imbalanced trailing updates and serial pivot "
+        "chain cap its efficiency; the models still predict its running "
+        "time once unbalanced broadcasts are priced correctly.")
+    return result
+
+
+@register("ext-t800", "General locality on a T800 grid (extension)",
+          "extension of Section 3 (ref [15]) and the E-BSP report's "
+          "locality half")
+def ext_t800(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    from ..algorithms import stencil
+    from ..calibration.fitting import fit_line
+    from ..calibration.microbench import TimingSeries, time_phase
+    from ..core.ebsp import LocalityAwareBSP
+    from ..core.relations import CommPhase
+    from ..machines import T800Grid
+
+    machine = T800Grid(seed=seed)
+    cal = calibrated(machine, seed=seed)
+    params = cal.params
+    side = machine.side
+
+    # --- fit the locality law from fixed-distance shift permutations ---
+    def shift_phase(d: int) -> CommPhase:
+        ranks = np.arange(machine.P)
+        cols = ranks % side
+        dst = np.where(cols + d < side, ranks + d, -1)
+        return CommPhase.permutation(dst, params.w)
+
+    ds = np.arange(1, side)
+    times = np.array([
+        np.mean([time_phase(T800Grid(seed=seed + t), shift_phase(int(d)))
+                 for t in range(3)]) - machine.barrier_us
+        for d in ds])
+    fit = fit_line(TimingSeries(name="shift", xs=ds.astype(float),
+                                mean=times))
+    g0, g_hop = fit.intercept, fit.slope
+    local_model = LocalityAwareBSP(params, side, g0=max(0.0, g0),
+                                   g_hop=g_hop)
+    from ..core.bsp import BSP
+    flat_model = BSP(params)
+
+    # --- the neighbour workload: Jacobi halo exchange ---
+    N = max(32, int(128 * scale) // 32 * 32)
+    iters = max(4, int(12 * scale))
+    res = stencil.run(machine, N, iters, seed=seed)
+    got = stencil.assemble(machine.P, N, res.returns)
+    ref = stencil.reference_jacobi(res.inputs, iters)
+    correct = bool(np.allclose(got, ref))
+
+    measured = res.time_us
+    pred_flat = flat_model.trace_cost(res.trace)
+    pred_local = local_model.trace_cost(res.trace)
+
+    xs = [0, 1, 2]
+    result = ExperimentResult(
+        experiment="ext-t800",
+        title=f"Jacobi stencil (N={N}, {iters} sweeps) on a T800 grid",
+        x_label="series index", y_label="time (us)")
+    result.series.append(Series("measured", xs, [measured] * 3))
+    result.series.append(Series("flat BSP", xs, [pred_flat] * 3))
+    result.series.append(Series("locality-aware BSP", xs,
+                                [pred_local] * 3))
+
+    result.check("stencil result matches the sequential oracle", correct,
+                 f"N={N}, {iters} sweeps")
+    over = pred_flat / measured
+    result.check("flat BSP (calibrated on random patterns) overestimates "
+                 "the neighbour workload", over > 1.6, f"ratio {over:.2f}")
+    err = abs(pred_local / measured - 1)
+    result.check("the locality-aware model prices it well",
+                 err < 0.30, f"err {pred_local / measured - 1:+.0%}")
+    result.check("fitted per-hop cost is positive and significant",
+                 g_hop > 0.05 * params.g,
+                 f"g0={g0:.0f}, g_hop={g_hop:.1f} vs flat g={params.g:.0f}")
+    result.notes.append(
+        "This is the 'general locality' half of E-BSP, which the paper's "
+        "MasPar/GCel/CM-5 study could not isolate; the T800 grid of the "
+        "authors' earlier study [15] exposes it directly.")
+    return result
+
+
+@register("ext-sensitivity", "Messaging-cost sensitivity of the bulk-"
+          "transfer conclusion (extension)", "extension of Sections 6/8")
+def ext_sensitivity(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    M = max(256, int(1024 * scale) // 256 * 256)
+    factors = [1.0, 0.5, 0.2, 0.1, 0.05]
+    gains = []
+    for f in factors:
+        machine = GCel(seed=seed)
+        machine.c_send *= f
+        machine.c_recv *= f
+        machine.barrier_us *= max(f, 0.1)
+        machine.drift_window = int(machine.drift_window / max(f, 0.05))
+        t_word = bitonic.run(machine, M, variant="bsp-sync",
+                             seed=seed).time_us
+        machine2 = GCel(seed=seed)
+        machine2.c_send *= f
+        machine2.c_recv *= f
+        t_blk = bitonic.run(machine2, M, variant="bpram", seed=seed).time_us
+        gains.append(t_word / t_blk)
+
+    result = ExperimentResult(
+        experiment="ext-sensitivity",
+        title=f"GCel bulk-transfer gain vs per-message software cost "
+              f"(bitonic, M={M})",
+        x_label="software cost factor", y_label="word/block time ratio")
+    result.series.append(Series("bulk-transfer gain", factors, gains))
+
+    result.check("at the real cost the gain is enormous (paper: ~60x+)",
+                 gains[0] > 30, f"x{gains[0]:.0f}")
+    result.check("gain decays monotonically as messaging gets cheaper",
+                 bool(np.all(np.diff(gains) < 0)),
+                 " -> ".join(f"{v:.0f}" for v in gains))
+    result.check("a 20x cheaper message layer drops the gain by ~an order",
+                 gains[-1] < gains[0] / 8,
+                 f"x{gains[0]:.0f} -> x{gains[-1]:.1f}")
+    result.notes.append(
+        "Whether a model must capture bulk transfer is a property of the "
+        "machine's software stack (Section 8), quantified.")
+    return result

@@ -1,0 +1,69 @@
+"""Table 1 — the (MP-)BSP and MP-BPRAM machine parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..calibration import calibrate_all
+from ..core.params import paper_params
+from ..validation.series import ExperimentResult, Series
+from .base import register
+
+#: acceptable relative deviation of a fitted parameter from Table 1.
+TOLERANCE = {"g": 0.15, "L": 0.25, "sigma": 0.15, "ell": 0.30}
+
+
+@register("table1", "Machine parameters (fitted vs published)",
+          "Table 1, Section 3")
+def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trials = max(6, int(10 * scale))
+    cals = calibrate_all(seed=seed, trials=trials)
+    result = ExperimentResult(
+        experiment="table1",
+        title="(MP-)BSP and MP-BPRAM parameters, fitted from simulated "
+              "microbenchmarks",
+        x_label="machine", y_label="parameter (us)")
+
+    machines = list(cals)
+    xs = np.arange(len(machines), dtype=float)
+    for field in ("g", "L", "sigma", "ell"):
+        result.series.append(Series(
+            name=f"{field} (fitted)", xs=xs,
+            ys=[getattr(cals[m].params, field) for m in machines]))
+        result.series.append(Series(
+            name=f"{field} (paper)", xs=xs,
+            ys=[getattr(paper_params(m), field) for m in machines]))
+
+    for m in machines:
+        for field, tol in TOLERANCE.items():
+            fitted = getattr(cals[m].params, field)
+            published = getattr(paper_params(m), field)
+            err = abs(fitted - published) / published
+            result.check(
+                f"{m}.{field} within {tol:.0%} of Table 1", err <= tol,
+                f"fitted {fitted:.4g} vs paper {published:.4g} "
+                f"({err:+.1%})")
+
+    mp = cals["maspar"]
+    if mp.unb is not None:
+        ratio = mp.unb(32) / mp.unb(1024)
+        result.check("MasPar 32-active partial permutation ~13% of full",
+                     abs(ratio - 0.13) < 0.05, f"ratio {ratio:.3f}")
+        result.notes.append(
+            f"fitted T_unb(P') = {mp.unb.a:.2f} P' + {mp.unb.b:.1f} "
+            f"sqrt(P') + {mp.unb.c:.1f} (paper: 0.84/11.8/73.3), "
+            f"R^2 = {mp.unb_r2:.4f}")
+    gs = cals["gcel"].g_scatter
+    if gs is not None:
+        result.check("GCel multinode scatter ~9x cheaper than h-relation",
+                     5 < cals["gcel"].params.g / gs < 12,
+                     f"g_mscat = {gs:.0f} vs g = "
+                     f"{cals['gcel'].params.g:.0f} (paper: 492 vs 4480)")
+    for m in machines:
+        p = cals[m].params
+        pub = paper_params(m)
+        result.notes.append(
+            f"{m}: fitted g={p.g:.1f} L={p.L:.0f} sigma={p.sigma:.2f} "
+            f"ell={p.ell:.0f} | paper g={pub.g} L={pub.L} "
+            f"sigma={pub.sigma} ell={pub.ell}")
+    return result

@@ -1,0 +1,5 @@
+"""Simulated vendor library routines (the paper's Section 7 comparators)."""
+
+from . import cmssl, maspar_matmul
+
+__all__ = ["maspar_matmul", "cmssl"]

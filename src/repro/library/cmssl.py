@@ -1,0 +1,43 @@
+"""CMSSL ``gen_matrix_mult`` on the CM-5 (paper §7, Fig. 20).
+
+Compiled for the scalar (no vector units) model — the configuration the
+paper compares against — ``gen_matrix_mult`` "never achieves more than
+151 Mflops", well below the model-derived MP-BPRAM implementation's 372
+Mflops (65% of the 576 Mflop scalar peak).  Compiled for the vector-units
+model it reaches 1016 Mflops at ``N = 512`` (the paper's caveat, which we
+expose as :func:`mflops_vector_units`).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ModelError
+
+__all__ = ["mflops", "mflops_vector_units", "time_us", "SCALAR_PEAK_MFLOPS"]
+
+#: 64 nodes x 9 Mflops scalar peak (paper §7: "64 * 9 = 576 Mflops").
+SCALAR_PEAK_MFLOPS = 576.0
+
+_SCALE = 160.0
+_HALF_N2 = 17_000.0
+
+_VU_SCALE = 1180.0
+_VU_HALF_N2 = 42_000.0
+
+
+def mflops(N: int) -> float:
+    """Sustained Mflops of scalar ``gen_matrix_mult`` (caps at 151)."""
+    if N <= 0:
+        raise ModelError("matrix dimension must be positive")
+    return min(151.0, _SCALE * N * N / (N * N + _HALF_N2))
+
+
+def mflops_vector_units(N: int) -> float:
+    """The vector-units build (1016 Mflops at N = 512, paper §7)."""
+    if N <= 0:
+        raise ModelError("matrix dimension must be positive")
+    return _VU_SCALE * N * N / (N * N + _VU_HALF_N2)
+
+
+def time_us(N: int) -> float:
+    """Running time of the scalar build, counting ``2 N^3`` flops."""
+    return 2.0 * N ** 3 / mflops(N)

@@ -1,0 +1,27 @@
+"""Simulated experimental platforms (the paper's Section 3 machines)."""
+
+from .base import Machine
+from .cm5 import CM5
+from .gcel import GCel
+from .maspar import MasParMP1
+from .t800 import T800Grid
+
+__all__ = ["Machine", "MasParMP1", "GCel", "CM5", "T800Grid",
+           "make_machine", "MACHINES"]
+
+MACHINES = {
+    "maspar": MasParMP1,
+    "gcel": GCel,
+    "cm5": CM5,
+    "t800": T800Grid,
+}
+
+
+def make_machine(name: str, *, seed: int = 0, **kwargs) -> Machine:
+    """Instantiate a machine by name (``maspar``, ``gcel`` or ``cm5``)."""
+    try:
+        cls = MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise ValueError(f"unknown machine {name!r}; known: {known}") from None
+    return cls(seed=seed, **kwargs)

@@ -1,0 +1,95 @@
+"""Machine model base class.
+
+A :class:`Machine` is the simulator's substitute for real hardware: it
+prices local work (:meth:`compute_time`) and communication phases
+(:meth:`comm_time`), advancing per-processor virtual clocks.  Machine
+models are deliberately *richer* than the cost models under test — they
+know about endpoint contention, router cluster conflicts, partial-pattern
+discounts, cache behaviour and loss of synchrony, which is exactly what
+lets the reproduction show where the models' predictions break (paper §5).
+
+All randomness flows through ``self.rng`` (a seeded
+``numpy.random.Generator``), so every "measurement" is reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.params import ModelParams
+from ..core.relations import CommPhase
+from ..core.work import Work, nominal_time
+
+__all__ = ["Machine"]
+
+
+class Machine(ABC):
+    """Base class for simulated parallel machines."""
+
+    #: short identifier, e.g. ``"maspar"``.
+    name: str = "abstract"
+    #: lockstep SIMD machine (single instruction stream, no drift).
+    simd: bool = False
+
+    def __init__(self, nominal: ModelParams, *, seed: int = 0):
+        self.nominal = nominal
+        self.P = nominal.P
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Local computation
+    # ------------------------------------------------------------------
+    def compute_time(self, work: Work, rank: int) -> float:
+        """Time one processor needs for ``work``, in microseconds.
+
+        The default prices work with the nominal model coefficients;
+        machines override this to model cache effects etc.
+        """
+        return nominal_time(work, self.nominal)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def phase_cost(self, phase: CommPhase) -> float:
+        """Global time of a communication phase (excluding any barrier)."""
+
+    def barrier_time(self) -> float:
+        """Cost of one barrier synchronisation."""
+        return 0.0
+
+    def comm_time(self, phase: CommPhase, clocks: np.ndarray, *,
+                  barrier: bool = True) -> np.ndarray:
+        """Advance ``clocks`` across a communication phase.
+
+        The default is bulk-synchronous: everybody waits for the slowest
+        processor, the phase is routed, and a barrier (if requested)
+        realigns the clocks.  Machines with drift behaviour (GCel)
+        override this.
+        """
+        if clocks.shape != (phase.P,):
+            raise SimulationError("clock array does not match phase P")
+        start = float(clocks.max())
+        total = start
+        if not phase.is_empty:
+            total += self.phase_cost(phase)
+        if barrier and not self.simd:
+            total += self.barrier_time()
+        if barrier or self.simd or phase.is_empty:
+            return np.full(phase.P, total)
+        # No barrier: only participants advance to the common finish time.
+        new = clocks.copy()
+        mask = (phase.sends_per_proc > 0) | (phase.recvs_per_proc > 0)
+        new[mask] = total
+        return new
+
+    # ------------------------------------------------------------------
+    def jitter(self, scale: float = 0.01) -> float:
+        """A multiplicative measurement-noise factor around 1."""
+        return float(1.0 + self.rng.normal(0.0, scale))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(P={self.P}, seed=...)"

@@ -1,0 +1,142 @@
+"""Performance model of the 64-node CM-5 (paper §3.3).
+
+32 MHz Sparc nodes (64 KB direct-mapped cache) on a fat-tree data network
+plus a fast control network for barriers, programmed in Split-C without
+the vector units.  Salient behaviours:
+
+* fine-grain active-message traffic costs a few microseconds per message
+  (``g ~= 9.1`` us per 8-byte message, ``L ~= 45`` us — Table 1); the fat
+  tree has enough bisection bandwidth that partial patterns cost about the
+  same per message as full h-relations (§5.3);
+* **endpoint contention**: a node services one incoming message at a
+  time, so an *unstaggered* schedule in which many nodes target the same
+  destination stalls the senders — the +21% error of the initial
+  matrix-multiplication implementation (§5.1, Fig. 4);
+* block transfers: ``sigma ~= 0.27`` us/byte, ``ell ~= 75`` us;
+* the local matrix multiply is cache-sensitive: 6.5-7.5 Mflops while the
+  working set fits, dropping toward 5.2 Mflops for large blocks and
+  suffering call overhead for tiny ones (§4.1.1) — the model-error source
+  at small and large ``N`` in Figs. 4 and 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.params import ModelParams, paper_params
+from ..core.relations import CommPhase
+from ..core.work import MatmulBlock, Work, nominal_time
+from .base import Machine
+
+__all__ = ["CM5"]
+
+
+class CM5(Machine):
+    """Simulated 64-node CM-5 (Split-C, no vector units)."""
+
+    name = "cm5"
+    simd = False
+
+    def __init__(self, *, P: int = 64, seed: int = 0,
+                 params: ModelParams | None = None):
+        nominal = params or paper_params("cm5").with_updates(P=P)
+        if nominal.P != P:
+            nominal = nominal.with_updates(P=P)
+        super().__init__(nominal, seed=seed)
+        #: per fine-grain message software overheads (active messages).
+        #: Injection dominates (network-interface gap); the receive
+        #: handler is cheap and largely overlapped — this is why a
+        #: scatter costs almost as much per message as a full h-relation
+        #: on this machine (§5.3: "only a minor difference").
+        self.o_send = 8.0
+        self.o_recv = 1.1
+        #: per-message fat-tree transit at full machine load.
+        self.net_msg = 0.3
+        #: block-transfer overheads (send/recv split of Table 1).
+        self.ell_send = 25.0
+        self.ell_recv = 50.0
+        self.sigma_send = 0.09
+        self.sigma_recv = 0.18
+        #: below this, messages go through the active-message path whose
+        #: per-byte streaming cost makes the fine/block transition smooth.
+        self.block_threshold = 256
+        #: endpoint-contention penalty coefficient for unstaggered phases.
+        self.hotspot_coef = 0.45
+        #: barrier on the control network.
+        self.barrier_us = 38.0
+        self.noise = 0.005
+        #: local matmul rate (Mflops) by working-set size (bytes); the
+        #: nominal alpha corresponds to 2/alpha ~= 6.9 Mflops.
+        self.cache_bytes = 64 * 1024
+        self.compute_noise = 0.01
+
+    # ------------------------------------------------------------------
+    # Local computation with cache effects (§4.1.1)
+    # ------------------------------------------------------------------
+    def matmul_mflops(self, work: MatmulBlock) -> float:
+        """Sustained Mflops of the assembly kernel on one block."""
+        flops = work.flops
+        if flops == 0:
+            return 7.4
+        if flops < 2048:
+            return 3.8  # call / loop overhead dominates tiny blocks
+        if flops < 8192:
+            return 4.0  # short inner loops, little register reuse
+        if flops < 32768:
+            return 5.8
+        ws = work.working_set_bytes
+        if ws <= self.cache_bytes:
+            return 7.4
+        if ws <= 3 * self.cache_bytes:
+            return 6.9
+        if ws <= 12 * self.cache_bytes:
+            return 6.2
+        return 5.2
+
+    def compute_time(self, work: Work, rank: int) -> float:
+        if isinstance(work, MatmulBlock):
+            # time per compound op = 2 flops / rate
+            alpha_eff = 2.0 / self.matmul_mflops(work)
+            return alpha_eff * work.flops * self.jitter(self.compute_noise)
+        return nominal_time(work, self.nominal) * self.jitter(self.compute_noise)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def phase_cost(self, phase: CommPhase) -> float:
+        blocky = phase.msg_bytes >= self.block_threshold
+        fine = ~blocky
+        send_cost = np.zeros(phase.n_groups)
+        recv_cost = np.zeros(phase.n_groups)
+        if fine.any():
+            # per-message overhead plus streaming of any bytes beyond one
+            # word — grouping a few words into one active message pays
+            # the overhead once (the 16-byte-message observation of §8)
+            extra = np.maximum(0, phase.msg_bytes[fine] - self.nominal.w)
+            send_cost[fine] = phase.count[fine] * (
+                self.o_send + self.sigma_send * extra)
+            recv_cost[fine] = phase.count[fine] * (
+                self.o_recv + self.sigma_recv * extra)
+        if blocky.any():
+            m = phase.msg_bytes[blocky]
+            send_cost[blocky] = phase.count[blocky] * (self.ell_send + self.sigma_send * m)
+            recv_cost[blocky] = phase.count[blocky] * (self.ell_recv + self.sigma_recv * m)
+        # Send and receive handlers serialise on the node's processor:
+        # a node spends o_send per outgoing plus o_recv per incoming message.
+        per_send = np.bincount(phase.src, weights=send_cost, minlength=phase.P)
+        per_recv = np.bincount(phase.dst, weights=recv_cost, minlength=phase.P)
+        t = float((per_send + per_recv).max(initial=0.0))
+        # fat-tree transit, scaled by how loaded the machine is
+        load = phase.active_procs / self.P
+        t += self.net_msg * load * float(
+            np.bincount(phase.dst, weights=phase.count, minlength=phase.P).max(initial=0))
+        if not phase.stagger:
+            # Unstaggered schedules create transient many-to-one hot spots:
+            # senders stall on the destination's service rate (§5.1).
+            f = phase.max_fan_in
+            if f > 1:
+                t *= 1.0 + self.hotspot_coef * (1.0 - 1.0 / f)
+        return t * self.jitter(self.noise)
+
+    def barrier_time(self) -> float:
+        return self.barrier_us

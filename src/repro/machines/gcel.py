@@ -1,0 +1,149 @@
+"""Performance model of the 64-node Parsytec GCel under HPVM (paper §3.2).
+
+An 8 x 8 mesh of 30 MHz T805 transputers with store-and-forward routing,
+programmed through "homogeneous PVM".  The dominant communication costs
+are *software*: per fine-grain message the sender spends ``c_send ~= 450``
+us and the receiver ``c_recv ~= 4030`` us, so
+
+* a random full h-relation costs ``(c_send + c_recv) h ~= 4480 h`` plus a
+  barrier of ~5100 us — Table 1's ``g = 4480, L = 5100``;
+* a multinode scatter (``sqrt(P)`` senders, everyone receiving ``<= h /
+  sqrt(P)``) is receive-bound at ``c_recv h / 8 ~= 500 h`` — the paper's
+  ``g_mscat ~= 492``, a factor 9.1 cheaper than a full h-relation
+  (Fig. 14), which plain BSP cannot express;
+* block transfers amortise the software cost: ``sigma ~= 9.3`` us/byte
+  with ``ell ~= 6900`` us startup, a bulk gain ``g/(w sigma) ~= 120``.
+
+Without barriers the processors *drift out of sync* (§5.1, Fig. 7): h-h
+permutations are linear in ``h`` until roughly ``h = 300``, after which
+PVM's buffering collapses and times become noisy and super-linear.
+Inserting a barrier every 256 messages restores linearity — the paper's
+"synchronized" bitonic variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.params import ModelParams, paper_params
+from ..core.relations import CommPhase
+from ..core.work import Work, nominal_time
+from .base import Machine
+
+__all__ = ["GCel"]
+
+
+class GCel(Machine):
+    """Simulated 64-node Parsytec GCel (8 x 8 transputer mesh) under HPVM."""
+
+    name = "gcel"
+    simd = False
+
+    def __init__(self, *, P: int = 64, seed: int = 0,
+                 params: ModelParams | None = None):
+        nominal = params or paper_params("gcel").with_updates(P=P)
+        if nominal.P != P:
+            nominal = nominal.with_updates(P=P)
+        super().__init__(nominal, seed=seed)
+        side = int(round(P ** 0.5))
+        self.side = side if side * side == P else 0  # 0 = not a square mesh
+        #: per-message software overheads of fine-grain HPVM traffic.
+        self.c_send = 450.0
+        self.c_recv = 4030.0
+        #: extra per-byte cost of fine messages beyond one word.
+        self.fine_byte = 12.0
+        #: block-transfer overheads (send + recv split of Table 1's ell/sigma).
+        self.ell_send = 700.0
+        self.ell_recv = 6200.0
+        self.sigma_send = 2.3
+        self.sigma_recv = 7.0
+        #: messages at least this large go through the block path (below
+        #: it, the per-byte fine-grain cost is cheaper anyway — the
+        #: crossover of the two software paths).
+        self.block_threshold = 160
+        #: store-and-forward transit cost per word crossing the bisection.
+        self.hop_word = 0.2
+        #: barrier synchronisation (global exchange over the mesh).
+        self.barrier_us = 5100.0
+        #: drift: PVM buffering degrades beyond this many back-to-back
+        #: messages per node without a barrier.
+        self.drift_window = 300
+        self.drift_rate = 1400.0
+        self.compute_noise = 0.01
+
+    # ------------------------------------------------------------------
+    # Local computation: MIMD, small per-node timing jitter.
+    # ------------------------------------------------------------------
+    def compute_time(self, work: Work, rank: int) -> float:
+        return nominal_time(work, self.nominal) * self.jitter(self.compute_noise)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def _per_proc_times(self, phase: CommPhase) -> np.ndarray:
+        """Software + transit time each node spends in the phase."""
+        blocky = phase.msg_bytes >= self.block_threshold
+        fine = ~blocky
+        send_cost = np.zeros(phase.n_groups)
+        recv_cost = np.zeros(phase.n_groups)
+        if fine.any():
+            extra = np.maximum(0, phase.msg_bytes[fine] - self.nominal.w)
+            per_msg_s = self.c_send + self.fine_byte * extra
+            per_msg_r = self.c_recv + self.fine_byte * extra
+            send_cost[fine] = phase.count[fine] * per_msg_s
+            recv_cost[fine] = phase.count[fine] * per_msg_r
+        if blocky.any():
+            m = phase.msg_bytes[blocky]
+            send_cost[blocky] = phase.count[blocky] * (self.ell_send + self.sigma_send * m)
+            recv_cost[blocky] = phase.count[blocky] * (self.ell_recv + self.sigma_recv * m)
+        t = np.bincount(phase.src, weights=send_cost, minlength=phase.P)
+        t += np.bincount(phase.dst, weights=recv_cost, minlength=phase.P)
+        # Mesh transit: words crossing the vertical bisection share 8 links.
+        if self.side:
+            crossing = ((phase.src % self.side < self.side // 2)
+                        != (phase.dst % self.side < self.side // 2))
+            words = phase.count * -(-phase.msg_bytes // self.nominal.w)
+            cross_words = float(words[crossing].sum())
+            t += self.hop_word * cross_words / self.side
+        return t
+
+    def _drift_extra(self, steps: int, participants: np.ndarray) -> np.ndarray:
+        """Super-linear, noisy penalty once PVM buffering saturates."""
+        window = self.drift_window * self.jitter(0.1)
+        excess = steps - window
+        if excess <= 0:
+            return np.zeros(participants.size)
+        noise = self.rng.lognormal(mean=0.0, sigma=0.7, size=participants.size)
+        extra = np.zeros(participants.size)
+        extra[participants] = excess * self.drift_rate * noise[participants]
+        return extra
+
+    def phase_cost(self, phase: CommPhase) -> float:
+        return float(self._per_proc_times(phase).max(initial=0.0))
+
+    def barrier_time(self) -> float:
+        return self.barrier_us
+
+    def comm_time(self, phase: CommPhase, clocks: np.ndarray, *,
+                  barrier: bool = True) -> np.ndarray:
+        if clocks.shape != (phase.P,):
+            raise SimulationError("clock array does not match phase P")
+        if phase.is_empty:
+            if barrier:
+                return np.full(phase.P, float(clocks.max()) + self.barrier_us)
+            return clocks.copy()
+        times = self._per_proc_times(phase)
+        if barrier:
+            total = float(clocks.max()) + float(times.max()) + self.barrier_us
+            return np.full(phase.P, total)
+        # No barrier: receivers wait for their senders, then proceed;
+        # small per-node jitter makes the clocks spread, and long
+        # unsynchronised message sequences trigger the drift collapse.
+        wait = clocks.copy()
+        np.maximum.at(wait, phase.dst, clocks[phase.src])
+        new = wait + times * (1.0 + self.rng.normal(0.0, 0.01, size=phase.P))
+        participants = (phase.sends_per_proc > 0) | (phase.recvs_per_proc > 0)
+        steps = int(phase.sends_per_proc.max(initial=0))
+        new += self._drift_extra(steps, participants)
+        return np.maximum(new, clocks)

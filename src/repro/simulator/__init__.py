@@ -1,0 +1,13 @@
+"""SPMD discrete-event simulator.
+
+The simulator executes real SPMD programs (Python generators operating on
+NumPy data) on virtual processors while a machine model charges virtual
+time — the substitute for the paper's MasPar / GCel / CM-5 testbeds.
+"""
+
+from .commands import SyncToken
+from .context import ProcContext
+from .engine import run_spmd
+from .result import RunResult
+
+__all__ = ["run_spmd", "ProcContext", "SyncToken", "RunResult"]

@@ -1,0 +1,39 @@
+"""Tokens exchanged between SPMD programs and the engine.
+
+Programs are generator functions; the only thing they ever *yield* is a
+:class:`SyncToken` (obtained from :meth:`ProcContext.sync`), which marks a
+superstep boundary.  Everything else — sends, receives, work charging — is
+recorded imperatively on the processor context.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SyncToken"]
+
+
+class SyncToken:
+    """A superstep boundary request, yielded by a program.
+
+    ``label`` names the superstep in the trace; ``stagger`` overrides the
+    phase's staggering flag (``None`` = staggered unless the program says
+    otherwise — see :class:`repro.core.relations.CommPhase`).  ``barrier``
+    says whether the boundary is a true barrier synchronisation: BSP-style
+    programs barrier every superstep, while message-passing programs (the
+    paper's plain PVM bitonic sort on the GCel) only match sends with
+    receives, letting processors drift out of sync (§5.1, Fig. 7).
+
+    A plain ``__slots__`` class rather than a dataclass: one token is
+    created per processor per superstep, squarely on the engine hot path.
+    """
+
+    __slots__ = ("label", "stagger", "barrier")
+
+    def __init__(self, label: str = "", stagger: bool | None = None,
+                 barrier: bool = True):
+        self.label = label
+        self.stagger = stagger
+        self.barrier = barrier
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SyncToken(label={self.label!r}, stagger={self.stagger}, "
+                f"barrier={self.barrier})")

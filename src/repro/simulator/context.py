@@ -1,0 +1,182 @@
+"""Per-processor execution context for SPMD programs.
+
+Each virtual processor runs a Python generator that receives a
+:class:`ProcContext`.  The context offers an mpi4py-flavoured API:
+
+* :meth:`put` / :meth:`put_words` — one-sided sends (payload plus the
+  message-group accounting the machine models price);
+* :meth:`sync` — superstep boundary (the program must ``yield`` it);
+* :meth:`get` / :meth:`collect` — retrieve payloads delivered by earlier
+  supersteps;
+* :meth:`charge` and friends — declare local work symbolically.
+
+Payloads are copied on send by default, so a program may freely reuse its
+buffers — matching real message-passing semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import MailboxError, SimulationError
+from ..core.work import Compare, Copy, Flops, Generic, MatmulBlock, Merge, RadixSort, Work
+from .commands import SyncToken
+
+__all__ = ["ProcContext"]
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort wire size of a payload, in bytes."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(x) for x in payload)
+    raise SimulationError(
+        f"cannot infer message size of {type(payload).__name__}; pass nbytes=")
+
+
+class ProcContext:
+    """The view one virtual processor has of the machine."""
+
+    def __init__(self, rank: int, P: int, word_bytes: int,
+                 simd: bool = False):
+        if not 0 <= rank < P:
+            raise SimulationError(f"rank {rank} out of range for P={P}")
+        self.rank = rank
+        self.P = P
+        self.word_bytes = word_bytes
+        #: running on a lockstep SIMD machine: every PE executes every
+        #: router operation, so programs cannot elide self-messages.
+        self.simd = simd
+        # Filled by the engine between supersteps:
+        self._inbox: dict[Any, list[tuple[int, Any]]] = {}
+        # Accumulated during the current superstep:
+        self._pending_sends: list[tuple[int, int, int, int, Any, Any]] = []
+        self._pending_work: list[Work] = []
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def put(self, dst: int, payload: Any, *, nbytes: int | None = None,
+            count: int = 1, tag: Any = None, step: int = -1,
+            copy: bool = True) -> None:
+        """Send ``payload`` to ``dst`` as ``count`` messages.
+
+        ``count > 1`` models a fine-grain transfer: the payload travels as
+        ``count`` messages of ``nbytes/count`` bytes each (e.g. word-level
+        BSP sends).  ``step`` tags the message group with a position in a
+        staggered schedule.  Delivery happens at the next :meth:`sync`.
+        """
+        if not 0 <= dst < self.P:
+            raise SimulationError(f"destination {dst} out of range (P={self.P})")
+        if count < 1:
+            raise SimulationError("count must be >= 1")
+        total = _payload_nbytes(payload) if nbytes is None else int(nbytes)
+        if total < 0:
+            raise SimulationError("nbytes must be >= 0")
+        msg_bytes = -(-total // count) if total else 0
+        if copy and isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self._pending_sends.append((dst, count, msg_bytes, step, tag, payload))
+
+    def put_words(self, dst: int, n_words: int, payload: Any = None, *,
+                  tag: Any = None, step: int = -1) -> None:
+        """Send ``n_words`` machine words to ``dst`` as ``n_words`` messages.
+
+        This is the BSP fine-grain idiom: each word is its own message.
+        """
+        if n_words < 1:
+            raise SimulationError("put_words needs n_words >= 1")
+        self.put(dst, payload, nbytes=n_words * self.word_bytes,
+                 count=n_words, tag=tag, step=step)
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    def sync(self, label: str = "", *, stagger: bool | None = None,
+             barrier: bool = True) -> SyncToken:
+        """Return a superstep-boundary token; the program must ``yield`` it.
+
+        ``barrier=False`` marks a send/receive matching point without a
+        global barrier — processors may drift apart (GCel, paper §5.1).
+        """
+        return SyncToken(label=label, stagger=stagger, barrier=barrier)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def get(self, src: int | None = None, tag: Any = None) -> Any:
+        """Pop one delivered payload (optionally matching ``src``), FIFO."""
+        queue = self._inbox.get(tag)
+        if queue:
+            if src is None:
+                _, payload = queue.pop(0)
+                return payload
+            for i, (s, payload) in enumerate(queue):
+                if s == src:
+                    queue.pop(i)
+                    return payload
+        raise MailboxError(
+            f"proc {self.rank}: no message with tag={tag!r} from "
+            f"{'any source' if src is None else src}")
+
+    def collect(self, tag: Any = None) -> dict[int, Any]:
+        """Pop all delivered payloads with ``tag``, keyed by source.
+
+        If one source sent several messages with the tag, the *last* one
+        wins (use distinct tags for multi-message protocols).
+        """
+        queue = self._inbox.pop(tag, [])
+        return {src: payload for src, payload in queue}
+
+    def collect_list(self, tag: Any = None) -> list[tuple[int, Any]]:
+        """Pop all delivered payloads with ``tag`` in delivery order."""
+        return self._inbox.pop(tag, [])
+
+    def has_message(self, tag: Any = None) -> bool:
+        return bool(self._inbox.get(tag))
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def charge(self, work: Work) -> None:
+        """Declare local work (priced by the machine at the next sync)."""
+        self._pending_work.append(work)
+
+    def charge_flops(self, n: float) -> None:
+        self.charge(Flops(n))
+
+    def charge_matmul(self, m: int, k: int, n: int) -> None:
+        self.charge(MatmulBlock(m, k, n))
+
+    def charge_sort(self, n: int, *, bits: int = 32, radix_bits: int = 8) -> None:
+        self.charge(RadixSort(n, bits=bits, radix_bits=radix_bits))
+
+    def charge_merge(self, n: int) -> None:
+        self.charge(Merge(n))
+
+    def charge_compare(self, n: int) -> None:
+        self.charge(Compare(n))
+
+    def charge_copy(self, n_words: int) -> None:
+        self.charge(Copy(n_words))
+
+    def charge_us(self, us: float) -> None:
+        self.charge(Generic(us))
+
+    # ------------------------------------------------------------------
+    # Engine-side hooks (not for program use)
+    # ------------------------------------------------------------------
+    def _drain(self) -> tuple[list[tuple[int, int, int, int, Any, Any]], list[Work]]:
+        sends, work = self._pending_sends, self._pending_work
+        self._pending_sends, self._pending_work = [], []
+        return sends, work
+
+    def _deliver(self, src: int, tag: Any, payload: Any) -> None:
+        self._inbox.setdefault(tag, []).append((src, payload))

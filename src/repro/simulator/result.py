@@ -1,0 +1,52 @@
+"""Result of one SPMD simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.trace import Trace
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """What :func:`repro.simulator.run_spmd` returns.
+
+    ``time_us`` is the virtual wall-clock of the run (maximum final
+    processor clock); ``clocks`` the per-processor finish times;
+    ``returns`` the per-processor return values of the SPMD program
+    (used for end-to-end correctness checks); ``trace`` the superstep
+    trace that cost models can re-price.
+    """
+
+    time_us: float
+    clocks: np.ndarray
+    trace: Trace
+    returns: list[Any] = field(default_factory=list)
+
+    @property
+    def P(self) -> int:
+        return self.trace.P
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_us / 1e3
+
+    @property
+    def time_s(self) -> float:
+        return self.time_us / 1e6
+
+    def profile(self) -> dict[str, float]:
+        """Virtual time by superstep-label family (largest first).
+
+        The guides' first rule — no optimisation without measuring —
+        applied to virtual time; see
+        :mod:`repro.validation.attribution` for the model-error variant.
+        """
+        from ..validation.attribution import time_by_label
+
+        return time_by_label(self.trace)

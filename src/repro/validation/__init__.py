@@ -1,0 +1,38 @@
+"""Measured-vs-predicted comparison utilities and figure rendering."""
+
+from .attribution import (
+    LabelError,
+    attribute_error,
+    render_attribution,
+    time_by_label,
+)
+from .compare import (
+    max_abs_relative_error,
+    mean_relative_error,
+    overestimation_factor,
+    relative_errors,
+)
+from .scoreboard import Cell, Scoreboard, build_scoreboard, render_scoreboard
+from .series import Check, ExperimentResult, Series
+from .textfig import render_ascii_plot, render_result, render_table
+
+__all__ = [
+    "Series",
+    "Check",
+    "ExperimentResult",
+    "relative_errors",
+    "max_abs_relative_error",
+    "mean_relative_error",
+    "overestimation_factor",
+    "render_table",
+    "render_ascii_plot",
+    "render_result",
+    "Cell",
+    "Scoreboard",
+    "build_scoreboard",
+    "render_scoreboard",
+    "LabelError",
+    "attribute_error",
+    "render_attribution",
+    "time_by_label",
+]

@@ -1,0 +1,39 @@
+"""Measured-vs-predicted error statistics (the evaluation currency of §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from .series import Series
+
+__all__ = ["relative_errors", "max_abs_relative_error",
+           "mean_relative_error", "overestimation_factor"]
+
+
+def relative_errors(measured: Series, predicted: Series) -> np.ndarray:
+    """``(predicted - measured) / measured`` pointwise (positive =
+    the model overestimates)."""
+    if not np.array_equal(measured.xs, predicted.xs):
+        raise ExperimentError(
+            f"series {measured.name!r} and {predicted.name!r} sample "
+            "different x grids")
+    if np.any(measured.ys <= 0):
+        raise ExperimentError("measured times must be positive")
+    return (predicted.ys - measured.ys) / measured.ys
+
+
+def max_abs_relative_error(measured: Series, predicted: Series) -> float:
+    return float(np.abs(relative_errors(measured, predicted)).max())
+
+
+def mean_relative_error(measured: Series, predicted: Series) -> float:
+    """Signed mean relative error (positive = overestimate)."""
+    return float(relative_errors(measured, predicted).mean())
+
+
+def overestimation_factor(measured: Series, predicted: Series) -> float:
+    """Mean of ``predicted / measured`` — e.g. the ~2.0 of Fig. 5."""
+    if not np.array_equal(measured.xs, predicted.xs):
+        raise ExperimentError("series sample different x grids")
+    return float((predicted.ys / measured.ys).mean())

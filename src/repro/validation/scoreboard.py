@@ -1,0 +1,143 @@
+"""Model-accuracy scoreboard: Section 5's verdict in one table.
+
+Runs a fixed matrix of (workload, machine) cells, prices each execution
+trace under every applicable cost model with *calibrated* parameters,
+and tabulates signed errors.  This is the cross-cutting summary the
+paper delivers in prose ("the models do not accurately predict the
+actual running time ... in the following circumstances"): one glance
+shows which model breaks on which machine and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms import apsp, bitonic, matmul
+from ..calibration.table1 import Calibration, calibrate
+from ..core.base import CostModel
+from ..core.bpram import MPBPRAM
+from ..core.bsp import BSP
+from ..core.ebsp import EBSP
+from ..core.logp import LogGP, logp_from_table1
+from ..core.mp_bsp import MPBSP
+from ..core.pram import PRAM
+from ..machines import make_machine
+
+__all__ = ["Cell", "Scoreboard", "build_scoreboard", "render_scoreboard"]
+
+
+@dataclass
+class Cell:
+    """One (workload, machine, model) measurement."""
+
+    workload: str
+    machine: str
+    model: str
+    measured_us: float
+    predicted_us: float
+
+    @property
+    def error(self) -> float:
+        """Signed relative error (positive = model overestimates)."""
+        return (self.predicted_us - self.measured_us) / self.measured_us
+
+
+@dataclass
+class Scoreboard:
+    cells: list[Cell] = field(default_factory=list)
+
+    def models(self) -> list[str]:
+        seen: list[str] = []
+        for c in self.cells:
+            if c.model not in seen:
+                seen.append(c.model)
+        return seen
+
+    def rows(self) -> list[tuple[str, str]]:
+        seen: list[tuple[str, str]] = []
+        for c in self.cells:
+            key = (c.workload, c.machine)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def error(self, workload: str, machine: str, model: str) -> float | None:
+        for c in self.cells:
+            if (c.workload, c.machine, c.model) == (workload, machine, model):
+                return c.error
+        return None
+
+    def worst_model(self) -> str:
+        """The model with the largest mean |error|.
+
+        Instructively, this is usually *not* PRAM: a fine-grain
+        single-port model applied to a block-transfer workload (MP-BSP
+        on the GCel) overcharges by two orders of magnitude, worse than
+        ignoring communication altogether.
+        """
+        means = {m: np.mean([abs(c.error) for c in self.cells
+                             if c.model == m]) for m in self.models()}
+        return max(means, key=means.get)  # type: ignore[arg-type]
+
+
+def _models_for(cal: Calibration) -> list[CostModel]:
+    params = cal.params
+    out: list[CostModel] = [PRAM(params), BSP(params), MPBSP(params),
+                            MPBPRAM(params),
+                            LogGP(params, logp_from_table1(params))]
+    if cal.unb is not None:
+        out.append(EBSP(params, cal.unb))
+    return out
+
+
+def build_scoreboard(*, scale: float = 1.0, seed: int = 0) -> Scoreboard:
+    """Run the workload matrix and price every trace under every model."""
+    board = Scoreboard()
+    specs = [
+        # (workload label, machine, runner(machine) -> RunResult)
+        ("matmul", "cm5",
+         lambda m: matmul.run(m, max(64, int(256 * scale) // 16 * 16),
+                              variant="bsp-staggered", seed=seed)),
+        ("matmul-blk", "cm5",
+         lambda m: matmul.run(m, max(64, int(256 * scale) // 16 * 16),
+                              variant="bpram", seed=seed)),
+        ("bitonic", "maspar",
+         lambda m: bitonic.run(m, max(8, int(32 * scale) // 8 * 8),
+                               variant="bsp", seed=seed)),
+        ("bitonic-blk", "gcel",
+         lambda m: bitonic.run(m, max(256, int(1024 * scale) // 256 * 256),
+                               variant="bpram", seed=seed)),
+        ("apsp", "gcel",
+         lambda m: apsp.run(m, max(32, int(128 * scale) // 32 * 32),
+                            seed=seed)),
+    ]
+    for workload, machine_name, runner in specs:
+        machine = make_machine(machine_name, seed=seed)
+        cal = calibrate(machine, seed=seed)
+        res = runner(machine)
+        for model in _models_for(cal):
+            board.cells.append(Cell(
+                workload=workload, machine=machine_name, model=model.name,
+                measured_us=res.time_us,
+                predicted_us=model.trace_cost(res.trace)))
+    return board
+
+
+def render_scoreboard(board: Scoreboard) -> str:
+    """Text table: rows = (workload, machine), columns = models."""
+    models = board.models()
+    head = f"{'workload':<14}{'machine':<9}" + "".join(
+        f"{m:>11}" for m in models)
+    lines = ["Signed prediction error (positive = model overestimates)",
+             head, "-" * len(head)]
+    for workload, machine in board.rows():
+        row = f"{workload:<14}{machine:<9}"
+        for model in models:
+            err = board.error(workload, machine, model)
+            row += f"{'-':>11}" if err is None else f"{err:>+10.0%} "
+        lines.append(row)
+    lines.append("")
+    lines.append(f"least faithful model overall: {board.worst_model()}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Data model for experiment outputs (one object per paper figure/table)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+
+__all__ = ["Series", "Check", "ExperimentResult"]
+
+
+@dataclass
+class Series:
+    """One curve of a figure: name + aligned x/y arrays."""
+
+    name: str
+    xs: np.ndarray
+    ys: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.xs = np.asarray(self.xs, dtype=float)
+        self.ys = np.asarray(self.ys, dtype=float)
+        if self.xs.shape != self.ys.shape or self.xs.ndim != 1:
+            raise ExperimentError(
+                f"series {self.name!r}: xs {self.xs.shape} and ys "
+                f"{self.ys.shape} must be aligned 1-D arrays")
+
+    def at(self, x: float) -> float:
+        """The y value at an exact x (the sweeps use exact grid points)."""
+        idx = np.nonzero(self.xs == x)[0]
+        if idx.size != 1:
+            raise ExperimentError(f"series {self.name!r} has no point x={x}")
+        return float(self.ys[idx[0]])
+
+
+@dataclass
+class Check:
+    """One verified paper claim: name, pass/fail and the evidence."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        known = ", ".join(s.name for s in self.series)
+        raise ExperimentError(
+            f"{self.experiment}: no series {name!r}; have: {known}")
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def check(self, name: str, passed, detail: str = "") -> Check:
+        c = Check(name=name, passed=bool(passed), detail=detail)
+        self.checks.append(c)
+        return c
+
+    # ------------------------------------------------------------------
+    # Serialisation (reproducibility artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dictionary with every series, check and note."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [{"name": s.name, "xs": s.xs.tolist(),
+                        "ys": s.ys.tolist()} for s in self.series],
+            "checks": [{"name": c.name, "passed": c.passed,
+                        "detail": c.detail} for c in self.checks],
+            "notes": list(self.notes),
+            "passed": self.passed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        result = cls(experiment=data["experiment"], title=data["title"],
+                     x_label=data["x_label"], y_label=data["y_label"])
+        for s in data["series"]:
+            result.series.append(Series(s["name"], s["xs"], s["ys"]))
+        for c in data["checks"]:
+            result.checks.append(Check(name=c["name"], passed=c["passed"],
+                                       detail=c.get("detail", "")))
+        result.notes = list(data.get("notes", []))
+        return result

@@ -1,0 +1,93 @@
+"""Text rendering of figures: data tables and ASCII plots for the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .series import ExperimentResult
+
+__all__ = ["render_table", "render_ascii_plot", "render_result"]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-2:
+        return f"{v:.3g}"
+    return f"{v:,.1f}" if abs(v) < 1e3 else f"{v:,.0f}"
+
+
+def render_table(result: ExperimentResult) -> str:
+    """The figure as a data table: one row per x, one column per series."""
+    if not result.series:
+        return "(no series)"
+    xs = result.series[0].xs
+    names = [s.name for s in result.series]
+    widths = [max(len(result.x_label), 10)] + \
+        [max(len(n), 12) for n in names]
+    header = f"{result.x_label:>{widths[0]}}" + "".join(
+        f"{n:>{w + 2}}" for n, w in zip(names, widths[1:]))
+    lines = [header, "-" * len(header)]
+    for i, x in enumerate(xs):
+        row = f"{_fmt(float(x)):>{widths[0]}}"
+        for s, w in zip(result.series, widths[1:]):
+            val = s.ys[i] if i < s.ys.size and np.array_equal(s.xs, xs) \
+                else s.ys[np.nonzero(s.xs == x)[0][0]] \
+                if (s.xs == x).any() else float("nan")
+            row += f"{_fmt(float(val)):>{w + 2}}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_ascii_plot(result: ExperimentResult, *, width: int = 64,
+                      height: int = 16, logy: bool = False) -> str:
+    """A rough ASCII plot of all series (good enough to eyeball shape)."""
+    if not result.series:
+        return "(no series)"
+    markers = "*+ox#@%&"
+    all_x = np.concatenate([s.xs for s in result.series])
+    all_y = np.concatenate([s.ys for s in result.series])
+    if logy:
+        all_y = np.log10(np.maximum(all_y, 1e-12))
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(result.series):
+        ys = np.log10(np.maximum(s.ys, 1e-12)) if logy else s.ys
+        for x, y in zip(s.xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = markers[si % len(markers)]
+    lines = [f"{result.title}  (y: {result.y_label}"
+             f"{', log10' if logy else ''})"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {result.x_label} in [{_fmt(x_lo)}, {_fmt(x_hi)}]")
+    for si, s in enumerate(result.series):
+        lines.append(f"   {markers[si % len(markers)]} {s.name}")
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult, *, plot: bool = True) -> str:
+    """Full report: title, table, optional plot, checks and notes."""
+    parts = [f"== {result.experiment}: {result.title} ==", "",
+             render_table(result)]
+    if plot and result.series:
+        parts += ["", render_ascii_plot(result, logy=_spans_decades(result))]
+    if result.checks:
+        parts += ["", "Checks:"]
+        parts += [f"  {c}" for c in result.checks]
+    if result.notes:
+        parts += ["", "Notes:"]
+        parts += [f"  - {n}" for n in result.notes]
+    return "\n".join(parts)
+
+
+def _spans_decades(result: ExperimentResult) -> bool:
+    ys = np.concatenate([s.ys for s in result.series])
+    ys = ys[ys > 0]
+    return ys.size > 0 and ys.max() / max(ys.min(), 1e-12) > 50

@@ -1,0 +1,139 @@
+"""Tests for all-pairs shortest path (paper §4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import apsp
+from repro.core import BSP, paper_params
+from repro.core.errors import ExperimentError
+from repro.core.predictions import bsp_apsp, ebsp_apsp_maspar, mp_bsp_apsp
+from repro.core.params import PAPER_UNBALANCED
+from repro.machines import CM5, GCel, MasParMP1
+
+
+class TestReference:
+    def test_matches_scipy(self, rng):
+        from scipy.sparse.csgraph import floyd_warshall
+        D = apsp.random_digraph(24, 0.3, rng)
+        ours = apsp.reference_apsp(D)
+        # scipy treats INF as no edge
+        Ds = D.copy()
+        Ds[Ds >= apsp.INF] = np.inf
+        theirs = floyd_warshall(Ds)
+        mask = np.isfinite(theirs)
+        assert np.allclose(ours[mask], theirs[mask])
+        assert np.all(ours[~mask] >= apsp.INF / 2)
+
+    def test_triangle_inequality(self, rng):
+        D = apsp.random_digraph(16, 0.5, rng)
+        out = apsp.reference_apsp(D)
+        for k in range(16):
+            assert np.all(out <= out[:, k:k + 1] + out[k:k + 1, :] + 1e-9)
+
+
+class TestCorrectness:
+    def test_m_ge_side(self, cm5):
+        # N=32, P=16 -> side=4, M=8 >= side
+        res = apsp.run(cm5, 32, P=16, seed=1)
+        got = apsp.assemble(16, 32, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))
+
+    def test_m_lt_side(self, cm5):
+        # N=8, P=16 -> side=4, M=2 < side: doubling path
+        res = apsp.run(cm5, 8, P=16, seed=2)
+        got = apsp.assemble(16, 8, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))
+
+    def test_m_equals_one(self, cm5):
+        res = apsp.run(cm5, 4, P=16, seed=3)
+        got = apsp.assemble(16, 4, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))
+
+    def test_full_machine(self, cm5):
+        res = apsp.run(cm5, 64, seed=4)
+        got = apsp.assemble(64, 64, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))
+
+    def test_disconnected_vertices_stay_infinite(self, cm5):
+        res = apsp.run(cm5, 32, P=16, seed=5, density=0.02)
+        got = apsp.assemble(16, 32, res.returns)
+        ref = apsp.reference_apsp(res.inputs)
+        assert np.array_equal(got >= apsp.INF / 2, ref >= apsp.INF / 2)
+
+
+class TestValidation:
+    def test_non_square_grid(self, cm5):
+        with pytest.raises(ExperimentError):
+            apsp.run(cm5, 32, P=32)
+
+    def test_indivisible_N(self, cm5):
+        with pytest.raises(ExperimentError):
+            apsp.run(cm5, 30, P=16)
+
+
+class TestScatterPattern:
+    def test_scatter_superstep_is_unbalanced(self, cm5):
+        """The first broadcast superstep is the (N, N/sqrt(P), N/P)-relation
+        of §4.4.1: few senders, machine-wide receives."""
+        res = apsp.run(cm5, 32, P=16, seed=0)
+        scat = next(s for s in res.trace if s.label.endswith("scatter"))
+        rel = scat.phase.relation()
+        assert scat.phase.senders <= 4  # sqrt(P) owners
+        assert rel.h1 > rel.h2  # sends dominate receives
+
+
+class TestPaperPhenomena:
+    def test_maspar_mp_bsp_overestimates_massively(self):
+        # Fig. 12: at N=512, MP-BSP predicts 53.9 s vs measured 30.3 s
+        # (78% off).  Scaled-down geometry, same physics: P=256, N=128
+        # gives M=8 < sqrt(P)=16 like the paper's M=16 < 32.
+        m = MasParMP1(P=256, seed=6)
+        params = paper_params("maspar").with_updates(P=256)
+        res = apsp.run(m, 128, seed=0)
+        pred = mp_bsp_apsp(128, params, P=256)
+        assert pred / res.time_us > 1.35
+
+    def test_maspar_ebsp_much_closer(self):
+        m = MasParMP1(P=256, seed=6)
+        params = paper_params("maspar").with_updates(P=256)
+        unb = PAPER_UNBALANCED["maspar"]
+        res = apsp.run(m, 128, seed=0)
+        err_ebsp = abs(ebsp_apsp_maspar(128, params, unb, P=256) - res.time_us)
+        err_mpbsp = abs(mp_bsp_apsp(128, params, P=256) - res.time_us)
+        assert err_ebsp < 0.45 * err_mpbsp
+
+    def test_gcel_bsp_overestimates(self):
+        # Fig. 13: substantial error from charging the scatter as a full
+        # h-relation.
+        g = GCel(seed=6)
+        params = paper_params("gcel")
+        res = apsp.run(g, 64, seed=0)
+        assert bsp_apsp(64, params) / res.time_us > 1.4
+
+    def test_cm5_bsp_accurate(self):
+        # Fig. 15: "the BSP model accurately predicts the actual running
+        # times" on the fat tree.
+        c = CM5(seed=6)
+        params = paper_params("cm5")
+        res = apsp.run(c, 64, seed=0)
+        pred = bsp_apsp(64, params)
+        assert pred == pytest.approx(res.time_us, rel=0.25)
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_correct_any_graph(self, seed):
+        c = CM5(seed=1)
+        res = apsp.run(c, 16, P=16, seed=seed, density=0.4)
+        got = apsp.assemble(16, 16, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))
+
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=6, deadline=None)
+    def test_correct_any_density(self, density):
+        c = CM5(seed=1)
+        res = apsp.run(c, 16, P=16, seed=9, density=density)
+        got = apsp.assemble(16, 16, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))

@@ -1,0 +1,128 @@
+"""Tests for local computation kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.core.work import Compare, MatmulBlock, Merge, RadixSort
+from repro.simulator.context import ProcContext
+from repro.algorithms.local import classify_keys, local_matmul, merge_keep, radix_sort
+
+
+@pytest.fixture
+def ctx():
+    return ProcContext(rank=0, P=4, word_bytes=4)
+
+
+def charged(ctx):
+    _, work = ctx._drain()
+    return work
+
+
+class TestRadixSort:
+    def test_sorts(self, ctx, rng):
+        keys = rng.integers(0, 2**32, size=1000, dtype=np.uint64)
+        out = radix_sort(ctx, keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_charges_radix_work(self, ctx):
+        radix_sort(ctx, np.arange(100, dtype=np.uint64))
+        work = charged(ctx)
+        assert work == [RadixSort(100, bits=32, radix_bits=8)]
+
+    def test_empty(self, ctx):
+        out = radix_sort(ctx, np.empty(0, dtype=np.uint64))
+        assert out.size == 0
+
+    def test_duplicates(self, ctx):
+        keys = np.array([5, 1, 5, 1, 5], dtype=np.uint64)
+        assert radix_sort(ctx, keys).tolist() == [1, 1, 5, 5, 5]
+
+    def test_small_key_width(self, ctx, rng):
+        keys = rng.integers(0, 2**16, size=256, dtype=np.uint64)
+        out = radix_sort(ctx, keys, bits=16)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_negative_rejected(self, ctx):
+        with pytest.raises(SimulationError):
+            radix_sort(ctx, np.array([-1, 2], dtype=np.int64))
+
+    def test_2d_rejected(self, ctx):
+        with pytest.raises(SimulationError):
+            radix_sort(ctx, np.zeros((2, 2), dtype=np.uint64))
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_np_sort(self, lst):
+        ctx = ProcContext(rank=0, P=2, word_bytes=4)
+        keys = np.array(lst, dtype=np.uint64)
+        assert np.array_equal(radix_sort(ctx, keys), np.sort(keys))
+
+
+class TestMergeKeep:
+    def test_keep_min(self, ctx):
+        a = np.array([1, 4, 7], dtype=np.uint64)
+        b = np.array([2, 3, 9], dtype=np.uint64)
+        assert merge_keep(ctx, a, b, keep_min=True).tolist() == [1, 2, 3]
+
+    def test_keep_max(self, ctx):
+        a = np.array([1, 4, 7], dtype=np.uint64)
+        b = np.array([2, 3, 9], dtype=np.uint64)
+        assert merge_keep(ctx, a, b, keep_min=False).tolist() == [4, 7, 9]
+
+    def test_charges_output_length(self, ctx):
+        merge_keep(ctx, np.arange(8, dtype=np.uint64),
+                   np.arange(8, dtype=np.uint64), keep_min=True)
+        assert charged(ctx) == [Merge(8)]
+
+    def test_length_mismatch(self, ctx):
+        with pytest.raises(SimulationError):
+            merge_keep(ctx, np.arange(3), np.arange(4), keep_min=True)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, lst, data):
+        """min-half and max-half partition the multiset of both runs."""
+        other = data.draw(st.lists(st.integers(0, 100), min_size=len(lst),
+                                   max_size=len(lst)))
+        ctx = ProcContext(rank=0, P=2, word_bytes=4)
+        a = np.sort(np.array(lst, dtype=np.uint64))
+        b = np.sort(np.array(other, dtype=np.uint64))
+        lo = merge_keep(ctx, a, b, keep_min=True)
+        hi = merge_keep(ctx, a, b, keep_min=False)
+        assert np.array_equal(np.sort(np.concatenate([lo, hi])),
+                              np.sort(np.concatenate([a, b])))
+        assert lo.max(initial=0) <= hi.min(initial=101)
+
+
+class TestLocalMatmul:
+    def test_product(self, ctx, rng):
+        A = rng.standard_normal((4, 6))
+        B = rng.standard_normal((6, 3))
+        assert np.allclose(local_matmul(ctx, A, B), A @ B)
+
+    def test_charges_block_shape(self, ctx):
+        local_matmul(ctx, np.zeros((4, 6)), np.zeros((6, 3)))
+        assert charged(ctx) == [MatmulBlock(4, 6, 3)]
+
+    def test_shape_mismatch(self, ctx):
+        with pytest.raises(SimulationError):
+            local_matmul(ctx, np.zeros((4, 5)), np.zeros((6, 3)))
+
+
+class TestClassifyKeys:
+    def test_buckets(self, ctx):
+        keys = np.array([1, 5, 10, 20], dtype=np.uint64)
+        splitters = np.array([4, 15], dtype=np.uint64)
+        assert classify_keys(ctx, keys, splitters).tolist() == [0, 1, 1, 2]
+
+    def test_key_equal_to_splitter_goes_right(self, ctx):
+        keys = np.array([4], dtype=np.uint64)
+        splitters = np.array([4], dtype=np.uint64)
+        assert classify_keys(ctx, keys, splitters).tolist() == [1]
+
+    def test_charges_linear_work(self, ctx):
+        classify_keys(ctx, np.arange(10, dtype=np.uint64),
+                      np.array([5], dtype=np.uint64))
+        assert charged(ctx) == [Compare(12)]

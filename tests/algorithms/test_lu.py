@@ -1,0 +1,114 @@
+"""Tests for the LU decomposition extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import lu
+from repro.core.errors import ExperimentError
+from repro.core.predictions import bsp_lu, lu_flops
+from repro.core import paper_params
+from repro.machines import CM5, GCel
+
+
+class TestReference:
+    def test_factors_reproduce_matrix(self, rng):
+        A = lu.random_dd_matrix(12, rng)
+        L, U = lu.reference_lu(A)
+        assert np.allclose(L @ U, A)
+        assert np.allclose(np.tril(L, -1) + np.triu(U),
+                           np.tril(L, -1) + U)
+
+    def test_unit_lower_triangular(self, rng):
+        A = lu.random_dd_matrix(8, rng)
+        L, U = lu.reference_lu(A)
+        assert np.allclose(np.diag(L), 1.0)
+        assert np.allclose(np.triu(L, 1), 0.0)
+        assert np.allclose(np.tril(U, -1), 0.0)
+
+    def test_diagonally_dominant_generator(self, rng):
+        A = lu.random_dd_matrix(16, rng)
+        off = np.abs(A).sum(axis=1) - np.abs(np.diag(A))
+        assert np.all(np.abs(np.diag(A)) > off - 1e-9)
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("N,P", [(16, 16), (32, 16), (48, 16), (64, 64)])
+    def test_matches_reference(self, cm5, N, P):
+        res = lu.run(cm5, N, P=P, seed=4)
+        got = lu.assemble(P, N, res.returns)
+        L, U = lu.reference_lu(res.inputs)
+        assert np.allclose(got, np.tril(L, -1) + U)
+
+    def test_factorisation_property(self, cm5):
+        N, P = 32, 16
+        res = lu.run(cm5, N, P=P, seed=5)
+        got = lu.assemble(P, N, res.returns)
+        Lg = np.tril(got, -1) + np.eye(N)
+        Ug = np.triu(got)
+        assert np.allclose(Lg @ Ug, res.inputs)
+
+    def test_on_gcel(self, gcel):
+        res = lu.run(gcel, 32, P=16, seed=6)
+        got = lu.assemble(16, 32, res.returns)
+        L, U = lu.reference_lu(res.inputs)
+        assert np.allclose(got, np.tril(L, -1) + U)
+
+    def test_geometry_validation(self, cm5):
+        with pytest.raises(ExperimentError):
+            lu.run(cm5, 30, P=16)
+        with pytest.raises(ExperimentError):
+            lu.run(cm5, 32, P=32)
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=5, deadline=None)
+    def test_any_seed(self, seed):
+        c = CM5(seed=1)
+        res = lu.run(c, 16, P=16, seed=seed)
+        got = lu.assemble(16, 16, res.returns)
+        L, U = lu.reference_lu(res.inputs)
+        assert np.allclose(got, np.tril(L, -1) + U)
+
+
+class TestCommunicationStructure:
+    def test_broadcasts_are_single_sender(self, cm5):
+        res = lu.run(cm5, 32, P=16, seed=0)
+        col_steps = [s for s in res.trace if s.label.startswith("col-")]
+        assert col_steps
+        for s in col_steps:
+            if not s.phase.is_empty:
+                # one owner per processor row sends
+                assert s.phase.senders <= 4
+
+    def test_traffic_shrinks_as_elimination_proceeds(self, cm5):
+        res = lu.run(cm5, 64, P=16, seed=0)
+        col_bytes = [s.phase.total_bytes for s in res.trace
+                     if s.label.startswith("col-")]
+        # compare first and last non-empty broadcast volumes
+        nonzero = [b for b in col_bytes if b]
+        assert nonzero[0] > nonzero[-1]
+
+
+class TestPredictions:
+    def test_lu_flops_formula(self):
+        # sum_{k} (N-1-k)^2 + (N-1-k)
+        N = 10
+        expected = sum((N - 1 - k) ** 2 + (N - 1 - k) for k in range(N - 1))
+        assert lu_flops(N) == expected
+
+    def test_bsp_overestimates_gcel(self):
+        g = GCel(seed=7)
+        res = lu.run(g, 64, seed=7)
+        assert bsp_lu(64, paper_params("gcel")) > 3 * res.time_us
+
+    def test_corrected_close_on_gcel(self):
+        g = GCel(seed=7)
+        res = lu.run(g, 64, seed=7)
+        fixed = bsp_lu(64, paper_params("gcel"), g_bcast=576.0)
+        assert fixed == pytest.approx(res.time_us, rel=0.15)
+
+    def test_bsp_reasonable_on_cm5(self):
+        c = CM5(seed=7)
+        res = lu.run(c, 64, seed=7)
+        assert bsp_lu(64, paper_params("cm5")) == pytest.approx(
+            res.time_us, rel=0.35)

@@ -1,0 +1,164 @@
+"""Tests for the 3D matrix multiplication (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import matmul
+from repro.core import BSP, MPBPRAM, MPBSP, paper_params
+from repro.core.errors import ExperimentError
+from repro.core.predictions import bpram_matmul, bsp_matmul, mp_bsp_matmul
+from repro.machines import CM5, MasParMP1
+
+
+class TestSetup:
+    def test_geometry(self):
+        s = matmul.MatmulSetup.create(64, 64)
+        assert s.q == 4 and s.sub == 16 and s.rows == 4
+
+    def test_coords_roundtrip(self):
+        s = matmul.MatmulSetup.create(64, 64)
+        for rank in range(64):
+            assert s.rank_of(*s.coords(rank)) == rank
+
+    def test_non_cubic_P_rejected(self):
+        with pytest.raises(Exception):
+            matmul.MatmulSetup.create(64, 100)
+
+    def test_bad_N_rejected(self):
+        with pytest.raises(ExperimentError):
+            matmul.MatmulSetup.create(50, 64)
+
+
+@pytest.mark.parametrize("variant", matmul.VARIANTS)
+class TestCorrectness:
+    def test_product_correct(self, cm5, variant):
+        res = matmul.run(cm5, 32, variant=variant, seed=3)
+        C = matmul.assemble(res.setup, res.returns)
+        A, B = res.inputs
+        assert np.allclose(C, A @ B)
+
+    def test_on_maspar_partition(self, variant):
+        m = MasParMP1(P=64, seed=4)
+        res = matmul.run(m, 48, variant=variant, seed=1)
+        C = matmul.assemble(res.setup, res.returns)
+        A, B = res.inputs
+        assert np.allclose(C, A @ B)
+
+
+class TestTraceShape:
+    def test_three_supersteps_with_two_comm_phases(self, cm5):
+        res = matmul.run(cm5, 32, variant="bsp-staggered", seed=0)
+        comm = [s for s in res.trace if not s.phase.is_empty]
+        assert len(comm) == 2  # replicate + exchange-partials
+
+    def test_communication_volume(self, cm5):
+        # superstep 1 moves ~2 N^2/q^2 words per processor (§4.1); on a
+        # MIMD machine the A copy to self stays local, so a generic
+        # processor sends (q-1) A-blocks plus q B-blocks of N^2/q^3 words.
+        N = 32
+        res = matmul.run(cm5, N, variant="bsp-staggered", seed=0)
+        rep = res.trace[0]
+        q = res.setup.q
+        block_words = N * N // q ** 3
+        assert rep.phase.sends_per_proc.max() == (2 * q - 1) * block_words
+
+    def test_unstaggered_flag_recorded(self, cm5):
+        res = matmul.run(cm5, 32, variant="bsp", seed=0)
+        assert not res.trace[0].phase.stagger
+        res = matmul.run(cm5, 32, variant="bsp-staggered", seed=0)
+        assert res.trace[0].phase.stagger
+
+
+class TestPredictionAgreement:
+    """Trace-priced model costs must track the closed forms of §4.1."""
+
+    def test_bsp_trace_vs_closed_form(self, cm5, cm5_params):
+        res = matmul.run(cm5, 64, variant="bsp-staggered", seed=0)
+        trace_cost = BSP(cm5_params).trace_cost(res.trace)
+        closed = bsp_matmul(64, cm5_params, P=64)
+        assert trace_cost == pytest.approx(closed, rel=0.15)
+
+    def test_bpram_trace_vs_closed_form(self, cm5, cm5_params):
+        res = matmul.run(cm5, 64, variant="bpram", seed=0)
+        trace_cost = MPBPRAM(cm5_params).trace_cost(res.trace)
+        closed = bpram_matmul(64, cm5_params, P=64)
+        assert trace_cost == pytest.approx(closed, rel=0.15)
+
+    def test_mp_bsp_trace_vs_closed_form(self, maspar_params):
+        m = MasParMP1(P=64, seed=0)
+        params = maspar_params.with_updates(P=64)
+        res = matmul.run(m, 48, variant="bsp-staggered", seed=0)
+        trace_cost = MPBSP(params).trace_cost(res.trace)
+        closed = mp_bsp_matmul(48, params, P=64)
+        assert trace_cost == pytest.approx(closed, rel=0.15)
+
+
+class TestPaperPhenomena:
+    def test_cm5_unstaggered_about_20_percent_slower(self):
+        # §5.1: 227 ms measured vs 188 ms predicted at N = 256 — a 21%
+        # error caused by processor contention, fixed by staggering.
+        m = CM5(seed=2)
+        t_stag = matmul.run(m, 256, variant="bsp-staggered", seed=0).time_us
+        t_uns = matmul.run(m, 256, variant="bsp", seed=0).time_us
+        assert t_uns / t_stag == pytest.approx(1.21, abs=0.06)
+
+    def test_cm5_staggered_matches_prediction_at_midsize(self, cm5_params):
+        m = CM5(seed=2)
+        t = matmul.run(m, 256, variant="bsp-staggered", seed=0).time_us
+        pred = bsp_matmul(256, cm5_params, P=64)
+        assert t == pytest.approx(pred, rel=0.08)
+
+    def test_cm5_bpram_faster_than_bsp(self):
+        # Fig. 16: the long-message version wins by ~43% at N = 512.
+        m = CM5(seed=2)
+        t_bsp = matmul.run(m, 512, variant="bsp-staggered", seed=0).time_us
+        t_bpr = matmul.run(m, 512, variant="bpram", seed=0).time_us
+        assert 1.25 < t_bsp / t_bpr < 1.65
+
+    def test_maspar_bpram_prediction_within_3_percent(self):
+        # Fig. 8: "all errors are less than 3%".
+        m = MasParMP1(seed=2)
+        params = paper_params("maspar").with_updates(P=512)
+        res = matmul.run(m, 256, variant="bpram", P=512, seed=0)
+        pred = bpram_matmul(256, params, P=512)
+        assert abs(pred - res.time_us) / res.time_us < 0.03
+
+
+class TestLayoutVariants:
+    """The §4.1 initial-distribution variants (2D row-strip start)."""
+
+    @pytest.mark.parametrize("variant", matmul.LAYOUT_VARIANTS)
+    def test_correct_from_strip_layout(self, cm5, variant):
+        res = matmul.run(cm5, 64, variant=variant, seed=6)
+        C = matmul.assemble(res.setup, res.returns)
+        A, B = res.inputs
+        assert np.allclose(C, A @ B)
+
+    def test_bpram_2d_has_extra_superstep(self, cm5):
+        res3d = matmul.run(cm5, 64, variant="bpram", seed=0)
+        res2d = matmul.run(cm5, 64, variant="bpram-2d", seed=0)
+        comm3d = [s for s in res3d.trace if not s.phase.is_empty]
+        comm2d = [s for s in res2d.trace if not s.phase.is_empty]
+        assert len(comm2d) == len(comm3d) + 1
+        assert comm2d[0].label == "redistribute"
+
+    def test_bsp_2d_keeps_superstep_count(self, cm5):
+        res3d = matmul.run(cm5, 64, variant="bsp-staggered", seed=0)
+        res2d = matmul.run(cm5, 64, variant="bsp-2d", seed=0)
+        assert (len([s for s in res2d.trace if not s.phase.is_empty])
+                == len([s for s in res3d.trace if not s.phase.is_empty]))
+
+    def test_strip_layout_needs_divisibility(self, cm5):
+        # N = 48 is a multiple of q^2 = 16 but not of P = 64
+        with pytest.raises(ExperimentError, match="2d layout"):
+            matmul.run(cm5, 48, variant="bpram-2d", seed=0)
+
+    def test_blocks_pay_fine_grain_does_not(self):
+        from repro.machines import GCel
+        g3 = matmul.run(GCel(seed=2), 64, variant="bpram", seed=1).time_us
+        g2 = matmul.run(GCel(seed=2), 64, variant="bpram-2d", seed=1).time_us
+        assert g2 / g3 > 1.2
+        c3 = matmul.run(CM5(seed=2), 64, variant="bsp-staggered",
+                        seed=1).time_us
+        c2 = matmul.run(CM5(seed=2), 64, variant="bsp-2d", seed=1).time_us
+        assert c2 / c3 < 1.12

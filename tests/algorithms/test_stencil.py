@@ -1,0 +1,79 @@
+"""Tests for the Jacobi stencil workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import stencil
+from repro.core.errors import ExperimentError
+from repro.machines import CM5, T800Grid
+
+
+class TestReference:
+    def test_fixed_point_of_constant_grid(self):
+        grid = np.ones((8, 8))
+        out = stencil.reference_jacobi(grid, 5)
+        assert np.allclose(out, 1.0)
+
+    def test_boundary_untouched(self, rng):
+        grid = rng.random((8, 8))
+        out = stencil.reference_jacobi(grid, 3)
+        assert np.array_equal(out[0, :], grid[0, :])
+        assert np.array_equal(out[:, -1], grid[:, -1])
+
+    def test_smoothing_reduces_variance(self, rng):
+        grid = rng.random((16, 16))
+        out = stencil.reference_jacobi(grid, 10)
+        assert out[1:-1, 1:-1].var() < grid[1:-1, 1:-1].var()
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("N,P,iters", [(16, 16, 3), (32, 16, 5),
+                                           (64, 64, 4)])
+    def test_matches_reference(self, N, P, iters):
+        m = T800Grid(P=P, seed=3)
+        res = stencil.run(m, N, iters, seed=1)
+        got = stencil.assemble(P, N, res.returns)
+        assert np.allclose(got, stencil.reference_jacobi(res.inputs, iters))
+
+    def test_on_cm5_too(self, cm5):
+        res = stencil.run(cm5, 32, 4, seed=2)
+        got = stencil.assemble(64, 32, res.returns)
+        assert np.allclose(got, stencil.reference_jacobi(res.inputs, 4))
+
+    def test_zero_iterations(self, cm5):
+        res = stencil.run(cm5, 16, 0, P=16, seed=0)
+        got = stencil.assemble(16, 16, res.returns)
+        assert np.allclose(got, res.inputs)
+
+    def test_geometry_validation(self, cm5):
+        with pytest.raises(ExperimentError):
+            stencil.run(cm5, 30, 2, P=16)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=5, deadline=None)
+    def test_any_iteration_count(self, iters):
+        m = CM5(seed=1)
+        res = stencil.run(m, 16, iters, P=16, seed=4)
+        got = stencil.assemble(16, 16, res.returns)
+        assert np.allclose(got, stencil.reference_jacobi(res.inputs, iters))
+
+
+class TestCommunicationStructure:
+    def test_halos_are_neighbour_messages(self):
+        m = T800Grid(seed=0)
+        res = stencil.run(m, 64, 2, seed=0)
+        for step in res.trace:
+            if step.phase.is_empty:
+                continue
+            hops = m.hops(step.phase.src, step.phase.dst)
+            assert int(hops.max()) == 1  # pure nearest-neighbour traffic
+
+    def test_interior_proc_exchanges_four_halos(self):
+        m = T800Grid(seed=0)
+        res = stencil.run(m, 64, 1, seed=0)
+        ph = res.trace[0].phase
+        # an interior processor (rank 9 = (1,1)) sends 4 halos of 8 words
+        assert ph.sends_per_proc[9] == 4 * 8
+        # a corner (rank 0) sends only 2
+        assert ph.sends_per_proc[0] == 2 * 8

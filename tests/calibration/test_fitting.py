@@ -1,0 +1,86 @@
+"""Tests for the least-squares fitting helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration.fitting import fit_line, fit_unbalanced, r_squared
+from repro.calibration.microbench import TimingSeries
+from repro.core.errors import CalibrationError
+
+
+def series(xs, ys):
+    return TimingSeries(name="t", xs=np.asarray(xs, float),
+                        mean=np.asarray(ys, float))
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        fit = fit_line(series([1, 2, 3, 4], [12, 22, 32, 42]))
+        assert fit.slope == pytest.approx(10)
+        assert fit.intercept == pytest.approx(2)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noisy_line(self, rng):
+        xs = np.arange(1, 50, dtype=float)
+        ys = 3.5 * xs + 100 + rng.normal(0, 1, xs.size)
+        fit = fit_line(series(xs, ys))
+        assert fit.slope == pytest.approx(3.5, abs=0.1)
+        assert fit.intercept == pytest.approx(100, abs=5)
+        assert fit.r2 > 0.99
+
+    def test_evaluation(self):
+        fit = fit_line(series([0, 1], [1, 3]))
+        assert fit(10) == pytest.approx(21)
+
+    def test_too_few_points(self):
+        with pytest.raises(CalibrationError):
+            fit_line(series([1], [1]))
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(CalibrationError, match="negative slope"):
+            fit_line(series([1, 2, 3], [30, 20, 10]))
+
+    @given(st.floats(0.1, 1e3), st.floats(0, 1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_any_line(self, slope, intercept):
+        xs = np.array([1.0, 2.0, 5.0, 10.0, 20.0])
+        fit = fit_line(series(xs, slope * xs + intercept))
+        assert fit.slope == pytest.approx(slope, rel=1e-6, abs=1e-9)
+        assert fit.intercept == pytest.approx(intercept, rel=1e-6, abs=1e-6)
+
+
+class TestFitUnbalanced:
+    def test_recovers_paper_law(self):
+        xs = np.array([8, 16, 32, 64, 128, 256, 512, 1024], dtype=float)
+        ys = 0.84 * xs + 11.8 * np.sqrt(xs) + 73.3
+        unb, r2 = fit_unbalanced(series(xs, ys))
+        assert unb.a == pytest.approx(0.84, abs=1e-6)
+        assert unb.b == pytest.approx(11.8, abs=1e-5)
+        assert unb.c == pytest.approx(73.3, abs=1e-4)
+        assert r2 == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(CalibrationError):
+            fit_unbalanced(series([1, 2], [1, 2]))
+
+    def test_negative_linear_term_rejected(self):
+        xs = np.array([1, 4, 16, 64, 256], dtype=float)
+        ys = -2 * xs + 100 * np.sqrt(xs)
+        with pytest.raises(CalibrationError):
+            fit_unbalanced(series(xs, ys))
+
+
+class TestRSquared:
+    def test_perfect(self):
+        ys = np.array([1.0, 2.0, 3.0])
+        assert r_squared(ys, ys) == 1.0
+
+    def test_mean_model_is_zero(self):
+        ys = np.array([1.0, 2.0, 3.0])
+        assert r_squared(ys, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_data(self):
+        ys = np.array([5.0, 5.0])
+        assert r_squared(ys, ys) == 1.0
+        assert r_squared(ys, ys + 1) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the microbenchmark drivers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration.microbench import (
+    TimingSeries,
+    full_h_relation_experiment,
+    hh_permutation_experiment,
+    multinode_scatter,
+    one_h_relation,
+    one_h_relation_experiment,
+    random_h_relation,
+    random_partial_permutation,
+    random_permutation,
+    time_phase,
+)
+from repro.core.errors import CalibrationError
+from repro.machines import GCel, MasParMP1
+
+
+class TestPatternGenerators:
+    def test_random_permutation_no_fixed_points(self, rng):
+        for _ in range(20):
+            ph = random_permutation(64, rng)
+            assert ph.total_messages == 64
+            assert ph.is_partial_permutation
+            assert not np.any(ph.src == ph.dst)
+
+    def test_partial_permutation_counts(self, rng):
+        ph = random_partial_permutation(64, 10, rng)
+        assert ph.total_messages == 10
+        assert ph.h_s <= 1 and ph.h_r <= 1
+
+    def test_partial_permutation_bounds(self, rng):
+        with pytest.raises(CalibrationError):
+            random_partial_permutation(64, 0, rng)
+        with pytest.raises(CalibrationError):
+            random_partial_permutation(64, 65, rng)
+
+    def test_h_relation_is_full(self, rng):
+        ph = random_h_relation(64, 5, rng)
+        rel = ph.relation()
+        assert rel.is_full_h_relation(64)
+        assert rel.h == 5
+
+    def test_one_h_relation_shape(self, rng):
+        ph = one_h_relation(1024, 8, rng)
+        assert ph.h_s == 1
+        assert ph.h_r == 8
+        assert ph.total_messages == 1024
+
+    def test_one_h_relation_uneven_tail(self, rng):
+        # h that does not divide P: the last destination gets fewer
+        ph = one_h_relation(1024, 3, rng)
+        assert ph.total_messages == 1024
+        assert ph.h_r == 3
+
+    def test_multinode_scatter_balanced(self, rng):
+        ph = multinode_scatter(64, 32, rng)
+        assert ph.senders == 8
+        assert ph.h_s == 32
+        # receivers exclude the senders and are balanced
+        assert ph.recvs_per_proc[:8].sum() == 0
+        assert ph.h_r <= -(-8 * 32 // 56) + 1
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_one_h_relation_any_h(self, h):
+        rng = np.random.default_rng(h)
+        ph = one_h_relation(1024, h, rng)
+        assert ph.total_messages == 1024
+
+
+class TestExperiments:
+    def test_series_shape(self, rng):
+        m = GCel(seed=0)
+        s = full_h_relation_experiment(m, [1, 2, 4], trials=2, rng=rng)
+        assert s.xs.tolist() == [1, 2, 4]
+        assert np.all(s.lo <= s.mean) and np.all(s.mean <= s.hi)
+
+    def test_one_h_series_increasing(self, rng):
+        m = MasParMP1(seed=0)
+        s = one_h_relation_experiment(m, [1, 8, 32], trials=5, rng=rng)
+        assert s.mean[0] < s.mean[1] < s.mean[2]
+
+    def test_hh_sync_variant_includes_barriers(self, rng):
+        plain = hh_permutation_experiment(GCel(seed=1), [100], rng=rng,
+                                          sync_every=None, trials=2)
+        rng2 = np.random.default_rng(1)
+        synced = hh_permutation_experiment(GCel(seed=1), [100], rng=rng2,
+                                           sync_every=10, trials=2)
+        # below the drift window, barriers only add overhead (10 barriers
+        # = 51 ms, far above the per-run timing jitter)
+        assert synced.mean[0] > plain.mean[0] + 5 * 5100
+
+    def test_time_phase_positive(self, rng):
+        m = GCel(seed=0)
+        assert time_phase(m, random_permutation(64, rng)) > 0
+
+    def test_timing_series_validation(self):
+        with pytest.raises(CalibrationError):
+            TimingSeries(name="x", xs=np.array([1.0, 2.0]),
+                         mean=np.array([1.0]))

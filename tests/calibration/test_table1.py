@@ -1,0 +1,74 @@
+"""Tests for the Table 1 calibration pipeline."""
+
+import pytest
+
+from repro.calibration.table1 import calibrate, calibrate_all, render_table1
+from repro.core.params import paper_params
+from repro.machines import CM5, GCel, MasParMP1
+
+
+@pytest.fixture(scope="module")
+def cals():
+    return calibrate_all(seed=3, trials=8)
+
+
+class TestCalibrateAll:
+    def test_three_machines(self, cals):
+        assert set(cals) == {"maspar", "gcel", "cm5"}
+
+    @pytest.mark.parametrize("machine,field,tol", [
+        ("maspar", "g", 0.15), ("maspar", "L", 0.20),
+        ("maspar", "sigma", 0.10), ("maspar", "ell", 0.25),
+        ("gcel", "g", 0.05), ("gcel", "L", 0.10),
+        ("gcel", "sigma", 0.10), ("gcel", "ell", 0.15),
+        ("cm5", "g", 0.10), ("cm5", "L", 0.30),
+        ("cm5", "sigma", 0.10), ("cm5", "ell", 0.25),
+    ])
+    def test_fitted_near_table1(self, cals, machine, field, tol):
+        fitted = getattr(cals[machine].params, field)
+        published = getattr(paper_params(machine), field)
+        assert fitted == pytest.approx(published, rel=tol)
+
+    def test_maspar_gets_unbalanced_law(self, cals):
+        unb = cals["maspar"].unb
+        assert unb is not None
+        assert unb.a == pytest.approx(0.84, abs=0.15)
+        assert cals["maspar"].unb_r2 > 0.999
+
+    def test_gcel_gets_scatter_g(self, cals):
+        gs = cals["gcel"].g_scatter
+        assert gs is not None
+        assert 5 < cals["gcel"].params.g / gs < 12
+
+    def test_mimd_machines_skip_unbalanced(self, cals):
+        assert cals["gcel"].unb is None
+        assert cals["cm5"].unb is None
+
+    def test_fit_quality_recorded(self, cals):
+        for cal in cals.values():
+            assert cal.notes["g_r2"] > 0.97
+            assert cal.notes["block_r2"] > 0.99
+
+
+class TestCalibrateSingle:
+    def test_partition_calibration_differs(self):
+        # A 512-PE MasPar partition has cheaper full permutations, so its
+        # fitted L is lower — calibrating the configuration you run on
+        # matters (this is why fig3 calibrates at P=1000).
+        small = calibrate(MasParMP1(P=256, seed=1), seed=1, trials=6)
+        big = calibrate(MasParMP1(P=1024, seed=1), seed=1, trials=6)
+        assert small.params.L < big.params.L
+
+    def test_deterministic_given_seed(self):
+        a = calibrate(CM5(seed=5), seed=5, trials=4)
+        b = calibrate(CM5(seed=5), seed=5, trials=4)
+        assert a.params.g == b.params.g
+        assert a.params.ell == b.params.ell
+
+
+class TestRendering:
+    def test_render_mentions_all(self, cals):
+        text = render_table1(cals)
+        assert "maspar" in text and "gcel" in text and "cm5" in text
+        assert "(paper)" in text
+        assert "4480" in text  # the published GCel g

@@ -1,0 +1,104 @@
+"""Tests for model parameter sets (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.params import PAPER_PARAMS, PAPER_UNBALANCED, ModelParams, UnbalancedCost, paper_params
+
+
+class TestPaperParams:
+    def test_table1_machines_present(self):
+        assert set(PAPER_PARAMS) == {"maspar", "gcel", "cm5"}
+
+    def test_table1_values(self):
+        mp = paper_params("maspar")
+        assert (mp.P, mp.g, mp.L, mp.sigma, mp.ell) == (1024, 32.2, 1400.0, 107.0, 630.0)
+        gc = paper_params("gcel")
+        assert (gc.P, gc.g, gc.L, gc.sigma, gc.ell) == (64, 4480.0, 5100.0, 9.3, 6900.0)
+        cm = paper_params("cm5")
+        assert (cm.P, cm.g, cm.L, cm.sigma, cm.ell) == (64, 9.1, 45.0, 0.27, 75.0)
+
+    def test_word_sizes(self):
+        assert paper_params("maspar").w == 4
+        assert paper_params("gcel").w == 4
+        assert paper_params("cm5").w == 8  # double precision (§3.3)
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ModelError, match="unknown machine"):
+            paper_params("cray")
+
+    def test_gcel_bulk_gain_is_about_120(self):
+        # §3.2: "For the GCel, this ratio is about 120."
+        assert paper_params("gcel").bulk_gain == pytest.approx(120, rel=0.02)
+
+    def test_cm5_bulk_gain_is_about_4_2(self):
+        # §3.3: "the ratio g/(w sigma) is about 4.2."
+        assert paper_params("cm5").bulk_gain == pytest.approx(4.2, rel=0.02)
+
+    def test_maspar_single_port_bulk_gain_is_about_3_3(self):
+        # §6: "(g+L)/(w sigma) = 3.3" for the MasPar.
+        assert paper_params("maspar").single_port_bulk_gain == pytest.approx(3.3, rel=0.05)
+
+    def test_h_relation_time(self):
+        p = paper_params("cm5")
+        assert p.h_relation_time(10) == pytest.approx(10 * 9.1 + 45)
+
+    def test_block_message_time(self):
+        p = paper_params("gcel")
+        assert p.block_message_time(1000) == pytest.approx(9.3 * 1000 + 6900)
+
+    def test_with_updates_returns_new_instance(self):
+        p = paper_params("cm5")
+        p2 = p.with_updates(P=128)
+        assert p2.P == 128 and p.P == 64
+        assert p2.g == p.g
+
+
+class TestParamValidation:
+    def test_negative_g_rejected(self):
+        with pytest.raises(ModelError):
+            ModelParams(machine="x", P=4, g=-1.0, L=0, sigma=0, ell=0)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ModelError):
+            ModelParams(machine="x", P=0, g=1.0, L=0, sigma=0, ell=0)
+
+    def test_bad_word_size_rejected(self):
+        with pytest.raises(ModelError):
+            ModelParams(machine="x", P=4, g=1.0, L=0, sigma=0, ell=0, w=0)
+
+    def test_frozen(self):
+        p = paper_params("cm5")
+        with pytest.raises(Exception):
+            p.g = 10  # type: ignore[misc]
+
+
+class TestUnbalancedCost:
+    def test_paper_maspar_law_full_machine(self):
+        # T_unb(1024) ~= 1311 us ~= the measured ~1300 us 1-relation (§5.1).
+        unb = PAPER_UNBALANCED["maspar"]
+        assert unb(1024) == pytest.approx(0.84 * 1024 + 11.8 * 32 + 73.3)
+        assert 1250 < unb(1024) < 1350
+
+    def test_paper_32_active_is_about_13_percent(self):
+        # §3.1: "when there are 32 active PEs, a partial permutation takes
+        # about 13% of the time required by a full permutation."
+        unb = PAPER_UNBALANCED["maspar"]
+        assert unb(32) / unb(1024) == pytest.approx(0.13, abs=0.02)
+
+    def test_zero_active_is_free(self):
+        assert UnbalancedCost(1, 1, 1)(0) == 0.0
+
+    def test_negative_active_rejected(self):
+        with pytest.raises(ModelError):
+            UnbalancedCost(1, 1, 1)(-1)
+
+    def test_monotone_in_active(self):
+        unb = PAPER_UNBALANCED["maspar"]
+        values = [unb(x) for x in (1, 2, 16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_as_tuple(self):
+        assert UnbalancedCost(1.0, 2.0, 3.0).as_tuple() == (1.0, 2.0, 3.0)

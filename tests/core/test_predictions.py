@@ -1,0 +1,158 @@
+"""Tests for the closed-form predictions of paper Section 4."""
+
+import math
+
+import pytest
+
+from repro.core import predictions as pred
+from repro.core.errors import ModelError
+from repro.core.params import PAPER_UNBALANCED, paper_params
+
+CM5 = paper_params("cm5")
+MASPAR = paper_params("maspar")
+GCEL = paper_params("gcel")
+
+
+class TestMatmul:
+    def test_bsp_formula(self):
+        # T = alpha N^3/P + beta N^2/q^2 + 3 g N^2/q^2 + 2L with q=4, P=64
+        N = 256
+        t = pred.bsp_matmul(N, CM5, P=64)
+        words = N * N / 16
+        expected = (CM5.alpha * N**3 / 64 + CM5.beta_copy * words
+                    + 3 * CM5.g * words + 2 * CM5.L)
+        assert t == pytest.approx(expected)
+
+    def test_paper_predicts_188ms_at_256(self):
+        # §5.1: "for N = 256, the BSP model predicts an execution time of
+        # 188 milliseconds" on the CM-5.
+        t_ms = pred.bsp_matmul(256, CM5, P=64) / 1e3
+        assert t_ms == pytest.approx(188, rel=0.10)
+
+    def test_needs_cubic_processor_count(self):
+        with pytest.raises(ModelError, match="q\\^3"):
+            pred.bsp_matmul(64, CM5, P=100)
+
+    def test_mp_bsp_exceeds_bsp_on_maspar(self):
+        # (g+L) per word instead of g per word + L per superstep
+        N = 512
+        assert (pred.mp_bsp_matmul(N, MASPAR, P=512)
+                > pred.bsp_matmul(N, MASPAR, P=512))
+
+    def test_bpram_beats_bsp_on_gcel(self):
+        # block transfers are the only way to fly on the GCel (§6)
+        N = 256
+        assert (pred.bpram_matmul(N, GCEL, P=64)
+                < 0.5 * pred.bsp_matmul(N, GCEL, P=64))
+
+    def test_compute_dominates_asymptotically(self):
+        t = pred.bsp_matmul(4096, CM5, P=64)
+        assert t == pytest.approx(CM5.alpha * 4096**3 / 64, rel=0.25)
+
+
+class TestBitonic:
+    def test_stage_count(self):
+        # sum_{d<=log P} d merge steps
+        M, P = 1024, 64
+        t = pred.bsp_bitonic(M, CM5, P=P)
+        steps = 0.5 * 6 * 7
+        expected = (pred.local_sort_time(M, CM5)
+                    + steps * (CM5.merge_alpha * M + CM5.g * M + CM5.L))
+        assert t == pytest.approx(expected)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ModelError):
+            pred.bsp_bitonic(64, CM5, P=48)
+
+    def test_gcel_bpram_is_orders_of_magnitude_cheaper(self):
+        # §6: "the MP-BPRAM version has almost two orders of magnitude
+        # improvement over the BSP version" with 4K keys per processor.
+        M = 4096
+        bsp = pred.bsp_bitonic(M, GCEL, P=64)
+        bpram = pred.bpram_bitonic(M, GCEL, P=64)
+        assert bsp / bpram > 30
+
+    def test_gcel_bsp_time_per_key_about_90ms(self):
+        # §6: measured 86.1 ms per key for the synchronized BSP version.
+        M = 4096
+        per_key_ms = pred.bsp_bitonic(M, GCEL, P=64) / M / 1e3
+        assert per_key_ms == pytest.approx(86.1, rel=0.25)
+
+    def test_gcel_bpram_time_per_key_about_1_4ms(self):
+        # §6: 1.36 ms per key for the MP-BPRAM variation.
+        M = 4096
+        per_key_ms = pred.bpram_bitonic(M, GCEL, P=64) / M / 1e3
+        assert per_key_ms == pytest.approx(1.36, rel=0.35)
+
+    def test_maspar_mp_bsp_vs_bpram_gain(self):
+        # Fig. 17: observed gain ~2.1, maximum (g+L)/(w sigma) = 3.3.
+        M = 256
+        ratio = (pred.mp_bsp_bitonic(M, MASPAR)
+                 / pred.bpram_bitonic(M, MASPAR))
+        assert 1.5 < ratio < 3.3
+
+
+class TestSampleSort:
+    def test_bsp_phases_positive(self):
+        t = pred.bsp_sample_sort(4096, GCEL, oversample=64, P=64)
+        assert t > 0
+
+    def test_mmax_default_reasonable(self):
+        t1 = pred.bsp_sample_sort(1000, CM5, oversample=32, P=64)
+        t2 = pred.bsp_sample_sort(1000, CM5, oversample=32, M_max=1000.0, P=64)
+        assert t1 > t2  # default M_max inflates over the perfect split
+
+    def test_oversample_validated(self):
+        with pytest.raises(ModelError):
+            pred.bsp_sample_sort(100, CM5, oversample=0)
+
+    def test_bpram_send_phase_constant(self):
+        # §6: the send substep alone costs about 16 sigma w N/P per proc
+        # (4 sqrt(P) steps of 4 sigma w M / sqrt(P) bytes each).
+        M, P = 4096, 64
+        t_route = 4 * math.sqrt(P) * (4 * GCEL.sigma * GCEL.w * M / math.sqrt(P) + GCEL.ell)
+        assert t_route == pytest.approx(16 * GCEL.sigma * GCEL.w * M + 32 * GCEL.ell)
+
+
+class TestAPSP:
+    def test_bsp_formula_large_m(self):
+        N, P = 512, 1024
+        M = N // 32
+        t = pred.bsp_apsp(N, MASPAR, P=P)
+        # M = 16 < sqrt(P) = 32 -> extra doubling phase
+        t_bcast = 2 * (MASPAR.g * M + MASPAR.L) + (MASPAR.g + MASPAR.L) * 1
+        assert t == pytest.approx(MASPAR.alpha * N**3 / P + 2 * N * t_bcast)
+
+    def test_mp_bsp_overestimates_measured_magnitude(self):
+        # §5.3: at N=512 the MP-BSP model predicts ~53.9 s on the MasPar.
+        t_s = pred.mp_bsp_apsp(512, MASPAR, P=1024) / 1e6
+        assert t_s == pytest.approx(53.9, rel=0.30)
+
+    def test_ebsp_predicts_much_less_than_mp_bsp(self):
+        # ... while the measured time is 30.3 s, and E-BSP captures it.
+        unb = PAPER_UNBALANCED["maspar"]
+        t_ebsp = pred.ebsp_apsp_maspar(512, MASPAR, unb, P=1024)
+        t_mpbsp = pred.mp_bsp_apsp(512, MASPAR, P=1024)
+        assert t_ebsp < 0.75 * t_mpbsp
+        assert t_ebsp / 1e6 == pytest.approx(30.3, rel=0.35)
+
+    def test_scatter_correction_reduces_gcel_prediction(self):
+        t_plain = pred.bsp_apsp(512, GCEL, P=64)
+        t_fixed = pred.scatter_corrected_apsp(512, GCEL, g_scatter=492.0, P=64)
+        assert t_fixed < t_plain
+
+    def test_geometry_validation(self):
+        with pytest.raises(ModelError):
+            pred.bsp_apsp(512, GCEL, P=60)
+        with pytest.raises(ModelError):
+            pred.bsp_apsp(100, GCEL, P=64)
+
+
+class TestMflops:
+    def test_matmul_mflops(self):
+        # 2 N^3 flops in t microseconds
+        assert pred.matmul_mflops(100, 2_000_000 / 1000) == pytest.approx(1000)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ModelError):
+            pred.flops_to_mflops(1.0, 0.0)

@@ -1,0 +1,76 @@
+"""Tests for execution traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.params import paper_params
+from repro.core.relations import CommPhase
+from repro.core.trace import Superstep, Trace
+from repro.core.work import Flops, Generic
+
+CM5 = paper_params("cm5")
+
+
+def simple_step(P=8, measured=float("nan")):
+    ph = CommPhase.permutation(np.roll(np.arange(P), 1), 8)
+    return Superstep(phase=ph, measured_us=measured)
+
+
+class TestSuperstep:
+    def test_add_work_and_nominal(self):
+        s = simple_step()
+        s.add_work(0, Flops(100))
+        s.add_work(0, Generic(5.0))
+        s.add_work(3, Flops(50))
+        arr = s.work_nominal_us(CM5)
+        assert arr.shape == (8,)
+        assert arr[0] == pytest.approx(100 * CM5.alpha + 5.0)
+        assert arr[3] == pytest.approx(50 * CM5.alpha)
+        assert s.max_work_nominal_us(CM5) == pytest.approx(arr.max())
+
+    def test_no_work_is_zero(self):
+        assert simple_step().max_work_nominal_us(CM5) == 0.0
+
+    def test_bad_proc_rejected(self):
+        with pytest.raises(TraceError):
+            simple_step().add_work(8, Flops(1))
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        tr = Trace(P=8)
+        tr.append(simple_step())
+        tr.append(simple_step())
+        assert len(tr) == 2
+        assert list(tr) == tr.supersteps
+        assert tr[0] is tr.supersteps[0]
+
+    def test_p_mismatch_rejected(self):
+        tr = Trace(P=8)
+        with pytest.raises(TraceError):
+            tr.append(simple_step(P=16))
+
+    def test_measured_requires_simulation(self):
+        tr = Trace(P=8)
+        tr.append(simple_step())
+        with pytest.raises(TraceError, match="never simulated"):
+            _ = tr.measured_us
+
+    def test_measured_sums(self):
+        tr = Trace(P=8)
+        tr.append(simple_step(measured=10.0))
+        tr.append(simple_step(measured=2.5))
+        assert tr.measured_us == pytest.approx(12.5)
+
+    def test_totals(self):
+        tr = Trace(P=8)
+        tr.append(simple_step())
+        assert tr.total_messages == 8
+        assert tr.total_bytes == 64
+
+    def test_summary_mentions_relations(self):
+        tr = Trace(P=8, label="demo")
+        tr.append(simple_step())
+        text = tr.summary()
+        assert "demo" in text and "h1=1" in text and "M=8" in text

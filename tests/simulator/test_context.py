@@ -1,0 +1,123 @@
+"""Tests for the processor context API."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import MailboxError, SimulationError
+from repro.simulator.context import ProcContext
+
+
+@pytest.fixture
+def ctx():
+    return ProcContext(rank=1, P=8, word_bytes=4)
+
+
+class TestPut:
+    def test_put_records_group(self, ctx):
+        ctx.put(2, np.zeros(10, dtype=np.float64), tag="t")
+        sends, _ = ctx._drain()
+        dst, count, msg_bytes, step, tag, payload = sends[0]
+        assert dst == 2 and count == 1 and msg_bytes == 80 and tag == "t"
+
+    def test_put_words_splits_into_messages(self, ctx):
+        ctx.put_words(3, 16)
+        sends, _ = ctx._drain()
+        dst, count, msg_bytes, *_ = sends[0]
+        assert count == 16 and msg_bytes == 4
+
+    def test_explicit_nbytes(self, ctx):
+        ctx.put(0, None, nbytes=100, count=4)
+        sends, _ = ctx._drain()
+        _, count, msg_bytes, *_ = sends[0]
+        assert count == 4 and msg_bytes == 25
+
+    def test_payload_copied_by_default(self, ctx):
+        buf = np.arange(4)
+        ctx.put(2, buf)
+        buf[:] = -1
+        sends, _ = ctx._drain()
+        assert sends[0][5].tolist() == [0, 1, 2, 3]
+
+    def test_copy_false_aliases(self, ctx):
+        buf = np.arange(4)
+        ctx.put(2, buf, copy=False)
+        buf[:] = -1
+        sends, _ = ctx._drain()
+        assert sends[0][5][0] == -1
+
+    def test_scalar_payload_size_inferred(self, ctx):
+        ctx.put(0, 3.14)
+        sends, _ = ctx._drain()
+        assert sends[0][2] == 8
+
+    def test_bad_payload_needs_nbytes(self, ctx):
+        with pytest.raises(SimulationError, match="nbytes"):
+            ctx.put(0, object())
+
+    def test_bad_destination(self, ctx):
+        with pytest.raises(SimulationError):
+            ctx.put(8, 0, nbytes=4)
+
+    def test_bad_count(self, ctx):
+        with pytest.raises(SimulationError):
+            ctx.put(0, 0, nbytes=4, count=0)
+
+
+class TestMailbox:
+    def test_fifo_per_tag(self, ctx):
+        ctx._deliver(0, "t", "first")
+        ctx._deliver(2, "t", "second")
+        assert ctx.get(tag="t") == "first"
+        assert ctx.get(tag="t") == "second"
+
+    def test_get_by_source(self, ctx):
+        ctx._deliver(0, "t", "a")
+        ctx._deliver(2, "t", "b")
+        assert ctx.get(src=2, tag="t") == "b"
+        assert ctx.get(src=0, tag="t") == "a"
+
+    def test_missing_message_raises(self, ctx):
+        with pytest.raises(MailboxError):
+            ctx.get(tag="nothing")
+
+    def test_collect_by_source(self, ctx):
+        ctx._deliver(0, "t", "a")
+        ctx._deliver(2, "t", "b")
+        assert ctx.collect("t") == {0: "a", 2: "b"}
+        assert not ctx.has_message("t")
+
+    def test_collect_list_order(self, ctx):
+        ctx._deliver(5, None, 1)
+        ctx._deliver(3, None, 2)
+        assert ctx.collect_list() == [(5, 1), (3, 2)]
+
+
+class TestWorkCharging:
+    def test_charge_helpers(self, ctx):
+        ctx.charge_flops(10)
+        ctx.charge_matmul(2, 3, 4)
+        ctx.charge_sort(100)
+        ctx.charge_merge(50)
+        ctx.charge_compare(5)
+        ctx.charge_copy(8)
+        ctx.charge_us(1.0)
+        _, work = ctx._drain()
+        assert len(work) == 7
+
+    def test_drain_resets(self, ctx):
+        ctx.charge_flops(10)
+        ctx._drain()
+        _, work = ctx._drain()
+        assert work == []
+
+
+class TestSyncToken:
+    def test_defaults(self, ctx):
+        tok = ctx.sync()
+        assert tok.barrier and tok.stagger is None and tok.label == ""
+
+    def test_overrides(self, ctx):
+        tok = ctx.sync("phase-1", stagger=False, barrier=False)
+        assert tok.label == "phase-1"
+        assert tok.stagger is False
+        assert not tok.barrier

@@ -1,0 +1,152 @@
+"""Deeper SPMD engine semantics: delivery, clocks, flags, barriers."""
+
+import numpy as np
+import pytest
+
+from repro.core.work import Flops
+from repro.machines import CM5, GCel, MasParMP1
+from repro.simulator import run_spmd
+
+
+class TestDelivery:
+    def test_exactly_once(self, cm5):
+        """Each message is delivered to exactly one mailbox, once."""
+
+        def prog(ctx):
+            for j in range(3):
+                ctx.put((ctx.rank + 1 + j) % ctx.P, (ctx.rank, j),
+                        nbytes=8, tag="m")
+            yield ctx.sync()
+            got = ctx.collect_list("m")
+            return sorted(got)
+
+        res = run_spmd(cm5, prog, P=8)
+        all_received = [msg for r in res.returns for _, msg in r]
+        assert len(all_received) == 24
+        assert len(set(all_received)) == 24
+
+    def test_multiple_messages_same_pair_ordered(self, cm5):
+        def prog(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    ctx.put(1, i, nbytes=8, tag="seq")
+            yield ctx.sync()
+            if ctx.rank == 1:
+                return [ctx.get(0, "seq") for _ in range(5)]
+
+        res = run_spmd(cm5, prog, P=2)
+        assert res.returns[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_isolate_streams(self, cm5):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.put(1, "a", nbytes=1, tag="t1")
+                ctx.put(1, "b", nbytes=1, tag="t2")
+            yield ctx.sync()
+            if ctx.rank == 1:
+                return (ctx.get(0, "t2"), ctx.get(0, "t1"))
+
+        res = run_spmd(cm5, prog, P=2)
+        assert res.returns[1] == ("b", "a")
+
+
+class TestClocks:
+    def test_superstep_durations_nonnegative(self, gcel):
+        def prog(ctx):
+            for i in range(6):
+                ctx.charge(Flops(100 * (ctx.rank + 1)))
+                ctx.put((ctx.rank + 1) % ctx.P, i, nbytes=4, tag=i)
+                yield ctx.sync()
+                ctx.get(tag=i)
+
+        res = run_spmd(gcel, prog)
+        assert all(s.measured_us >= 0 for s in res.trace)
+        assert res.time_us == pytest.approx(
+            sum(s.measured_us for s in res.trace))
+
+    def test_barrier_false_lets_clocks_spread(self):
+        machine = GCel(seed=9)
+
+        def prog(ctx):
+            partner = ctx.rank ^ 1
+            for i in range(4):
+                ctx.put(partner, i, nbytes=4, tag=i)
+                yield ctx.sync(barrier=False)
+                ctx.get(partner, tag=i)
+
+        res = run_spmd(machine, prog)
+        assert res.clocks.std() > 0
+
+    def test_barrier_true_equalises(self):
+        machine = GCel(seed=9)
+
+        def prog(ctx):
+            ctx.put((ctx.rank + 1) % ctx.P, 0, nbytes=4, tag="x")
+            yield ctx.sync(barrier=True)
+            ctx.get(tag="x")
+
+        res = run_spmd(machine, prog)
+        assert np.allclose(res.clocks, res.clocks[0])
+
+    def test_simd_ignores_barrier_flag(self):
+        machine = MasParMP1(P=64, seed=9)
+
+        def prog(ctx):
+            ctx.put((ctx.rank + 1) % ctx.P, 0, nbytes=4, tag="x")
+            yield ctx.sync(barrier=False)
+            ctx.get(tag="x")
+
+        res = run_spmd(machine, prog)
+        assert np.allclose(res.clocks, res.clocks[0])
+
+
+class TestFlags:
+    def test_any_unstaggered_token_marks_phase(self, cm5):
+        def prog(ctx):
+            ctx.put((ctx.rank + 1) % ctx.P, 0, nbytes=8)
+            yield ctx.sync(stagger=(False if ctx.rank == 0 else None))
+
+        res = run_spmd(cm5, prog, P=4)
+        assert not res.trace[0].phase.stagger
+
+    def test_default_staggered(self, cm5):
+        def prog(ctx):
+            ctx.put((ctx.rank + 1) % ctx.P, 0, nbytes=8)
+            yield ctx.sync()
+
+        res = run_spmd(cm5, prog, P=4)
+        assert res.trace[0].phase.stagger
+
+    def test_first_label_wins(self, cm5):
+        def prog(ctx):
+            yield ctx.sync("alpha" if ctx.rank == 0 else "beta")
+
+        res = run_spmd(cm5, prog, P=4)
+        assert res.trace[0].label == "alpha"
+
+    def test_simd_flag_visible_to_programs(self):
+        def prog(ctx):
+            yield ctx.sync()
+            return ctx.simd
+
+        assert all(run_spmd(MasParMP1(P=64, seed=0), prog).returns)
+        assert not any(run_spmd(CM5(seed=0), prog).returns)
+
+
+class TestStepTags:
+    def test_step_tags_reach_phase(self, cm5):
+        def prog(ctx):
+            for s in range(3):
+                ctx.put((ctx.rank + 1 + s) % ctx.P, s, nbytes=8, step=s)
+            yield ctx.sync()
+
+        res = run_spmd(cm5, prog, P=8)
+        assert res.trace[0].phase.n_steps == 3
+
+    def test_untagged_defaults_to_minus_one(self, cm5):
+        def prog(ctx):
+            ctx.put((ctx.rank + 1) % ctx.P, 0, nbytes=8)
+            yield ctx.sync()
+
+        res = run_spmd(cm5, prog, P=4)
+        assert res.trace[0].phase.step_ids.tolist() == [-1]

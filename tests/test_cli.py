@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig14"])
+        assert args.ids == ["fig14"]
+        assert args.scale == 1.0
+        assert args.seed == 0
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table1" in out and "abl-sync" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "MasParMP1" in out and "GCel" in out and "CM5" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main(["run", "fig14", "--scale", "0.3", "--no-plot"])
+        out = capsys.readouterr().out
+        assert "fig14" in out and "PASS" in out
+        assert code == 0
+
+    def test_run_with_plot(self, capsys):
+        main(["run", "fig14", "--scale", "0.3"])
+        out = capsys.readouterr().out
+        assert "x:" in out  # plot footer
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(Exception, match="unknown experiment"):
+            main(["run", "fig99"])
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--trials", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "T_unb" in out and "g_mscat" in out
+
+
+class TestJsonExport:
+    def test_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "res.json"
+        code = main(["run", "fig14", "--scale", "0.3", "--no-plot",
+                     "--json", str(out)])
+        assert code == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["scale"] == 0.3
+        assert data["results"][0]["experiment"] == "fig14"
+        assert data["results"][0]["passed"] is True
+
+
+class TestRoundtrip:
+    def test_result_dict_roundtrip(self):
+        from repro.experiments import get
+        from repro.validation.series import ExperimentResult
+
+        res = get("fig14").run(scale=0.3, seed=0)
+        clone = ExperimentResult.from_dict(res.to_dict())
+        assert clone.experiment == res.experiment
+        assert clone.passed == res.passed
+        assert [s.name for s in clone.series] == [s.name for s in res.series]
+        assert (clone.series[0].ys == res.series[0].ys).all()
+
+
+class TestAttributeCommand:
+    @pytest.mark.parametrize("workload,machine,model", [
+        ("apsp", "gcel", "bsp"),
+        ("bitonic-blk", "gcel", "mp-bpram"),
+        ("matmul-naive", "cm5", "bsp"),
+        ("stencil", "t800", "bsp"),
+    ])
+    def test_runs_and_reports(self, capsys, workload, machine, model):
+        code = main(["attribute", "--machine", machine, "--workload",
+                     workload, "--model", model, "--size", "32",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Model-error attribution" in out
+        assert "total" in out
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attribute", "--workload", "quantum-sort"])

@@ -1,0 +1,81 @@
+"""Tests for the experiment registry and a sample of cheap experiments.
+
+The expensive full-figure runs live in ``benchmarks/``; here we check the
+registry mechanics and that representative experiments produce sound
+results at a small scale.
+"""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments import all_experiments, get
+from repro.experiments.common import scaled_sizes
+from repro.validation.series import ExperimentResult
+
+EXPECTED_IDS = {
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20",
+    "abl-stagger", "abl-msgsize", "abl-sync", "abl-oversample",
+    "abl-layout", "abl-radix",
+    "ext-models", "ext-sensitivity", "ext-lu", "ext-primitives",
+    "ext-t800", "ext-misranking",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(all_experiments()) == EXPECTED_IDS
+
+    def test_ordering_figures_numeric(self):
+        ids = [i for i in all_experiments() if i.startswith("fig")]
+        assert ids == sorted(ids, key=lambda s: int(s[3:]))
+
+    def test_get_unknown(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get("fig99")
+
+    def test_scale_validated(self):
+        with pytest.raises(ExperimentError):
+            get("fig14").run(scale=0.0)
+        with pytest.raises(ExperimentError):
+            get("fig14").run(scale=2.0)
+
+    def test_metadata(self):
+        exp = get("fig12")
+        assert "shortest path" in exp.title.lower()
+        assert "Fig. 12" in exp.paper_ref
+
+
+class TestScaledSizes:
+    def test_identity_at_full_scale(self):
+        assert scaled_sizes([100, 200], 1.0, multiple=100) == [100, 200]
+
+    def test_snapping_and_dedup(self):
+        assert scaled_sizes([100, 200, 300], 0.3, multiple=100) == [100]
+
+    def test_minimum(self):
+        assert scaled_sizes([64], 0.1, multiple=16, minimum=32) == [32]
+
+
+class TestRepresentativeRuns:
+    @pytest.mark.parametrize("exp_id", ["fig14", "fig7", "fig2"])
+    def test_cheap_experiments_pass(self, exp_id):
+        result = get(exp_id).run(scale=0.3, seed=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.series
+        assert result.checks
+        failed = [c for c in result.checks if not c.passed]
+        assert not failed, failed
+
+    def test_results_are_deterministic(self):
+        a = get("fig14").run(scale=0.3, seed=2)
+        b = get("fig14").run(scale=0.3, seed=2)
+        assert (a.get("full h-relations").ys
+                == b.get("full h-relations").ys).all()
+
+    def test_seeds_change_measurements(self):
+        a = get("fig1").run(scale=0.2, seed=1)
+        b = get("fig1").run(scale=0.2, seed=2)
+        assert (a.get("measured (mean)").ys
+                != b.get("measured (mean)").ys).any()

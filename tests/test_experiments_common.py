@@ -1,0 +1,58 @@
+"""Tests for experiment plumbing: machine factory, calibration cache,
+registry ordering."""
+
+import pytest
+
+from repro.experiments import base, common
+from repro.machines import CM5, GCel, MasParMP1, T800Grid
+
+
+class TestMachineFor:
+    def test_all_names(self):
+        assert isinstance(common.machine_for("maspar"), MasParMP1)
+        assert isinstance(common.machine_for("gcel"), GCel)
+        assert isinstance(common.machine_for("cm5"), CM5)
+        assert isinstance(common.machine_for("t800"), T800Grid)
+
+    def test_partition_override(self):
+        assert common.machine_for("maspar", P=256).P == 256
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            common.machine_for("connection-machine-6")
+
+
+class TestCalibrationCache:
+    def test_memoised_per_config(self):
+        m1 = common.machine_for("cm5", seed=3)
+        m2 = common.machine_for("cm5", seed=3)
+        a = common.calibrated(m1, seed=3)
+        b = common.calibrated(m2, seed=3)
+        assert a is b  # cached
+
+    def test_distinct_partitions_distinct_calibrations(self):
+        a = common.calibrated(common.machine_for("maspar", P=256), seed=4)
+        b = common.calibrated(common.machine_for("maspar", P=1024), seed=4)
+        assert a is not b
+        assert a.params.P == 256 and b.params.P == 1024
+
+
+class TestRegistrySortKey:
+    def test_tables_first_then_figures_then_rest(self):
+        ids = list(base.all_experiments())
+        assert ids[0] == "table1"
+        figs = [i for i in ids if i.startswith("fig")]
+        assert figs == sorted(figs, key=lambda s: int(s[3:]))
+        # ablations and extensions come after the figures
+        assert ids.index("abl-stagger") > ids.index("fig20")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(Exception, match="duplicate"):
+            @base.register("fig1", "again", "nope")
+            def dup(**kwargs):  # pragma: no cover
+                raise AssertionError
+
+    def test_experiment_dataclass_frozen(self):
+        exp = base.get("fig1")
+        with pytest.raises(Exception):
+            exp.id = "fig99"  # type: ignore[misc]

@@ -1,0 +1,96 @@
+"""End-to-end integration tests: the full validation pipeline, and the
+shipped examples as executable documentation."""
+
+import runpy
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.algorithms import apsp, bitonic, matmul, samplesort
+from repro.calibration import calibrate
+from repro.core import BSP, MPBPRAM, MPBSP
+from repro.core.predictions import bpram_bitonic, bsp_apsp, mp_bsp_apsp
+from repro.machines import CM5, GCel, MasParMP1
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestFullPipeline:
+    """Calibrate -> run -> predict -> compare, like the paper did."""
+
+    def test_gcel_bitonic_pipeline(self):
+        machine = GCel(seed=11)
+        cal = calibrate(machine, seed=11)
+        res = bitonic.run(machine, 512, variant="bpram", seed=11)
+        # correctness
+        flat = np.concatenate(res.returns)
+        assert np.all(flat[:-1] <= flat[1:])
+        # closed form with *fitted* parameters within a few percent
+        pred = bpram_bitonic(512, cal.params)
+        assert pred == pytest.approx(res.time_us, rel=0.06)
+        # trace pricing agrees with the closed form
+        traced = MPBPRAM(cal.params).trace_cost(res.trace)
+        assert traced == pytest.approx(pred, rel=0.05)
+
+    def test_maspar_apsp_pipeline(self):
+        machine = MasParMP1(P=256, seed=12)
+        cal = calibrate(machine, seed=12)
+        res = apsp.run(machine, 64, seed=12)
+        got = apsp.assemble(256, 64, res.returns)
+        assert np.allclose(got, apsp.reference_apsp(res.inputs))
+        # the paper's qualitative finding, from fitted parameters only
+        assert mp_bsp_apsp(64, cal.params, P=256) > 1.3 * res.time_us
+
+    def test_cm5_matmul_pipeline(self):
+        machine = CM5(seed=13)
+        cal = calibrate(machine, seed=13)
+        res = matmul.run(machine, 128, variant="bsp-staggered", seed=13)
+        C = matmul.assemble(res.setup, res.returns)
+        A, B = res.inputs
+        assert np.allclose(C, A @ B)
+        pred = BSP(cal.params).trace_cost(res.trace)
+        assert pred == pytest.approx(res.time_us, rel=0.15)
+
+    def test_all_sorts_agree_on_the_answer(self):
+        machine = CM5(seed=14)
+        M = 64
+        a = bitonic.run(machine, M, variant="bsp", seed=14)
+        b = bitonic.run(CM5(seed=14), M, variant="bpram", seed=14)
+        c = samplesort.run(CM5(seed=14), M, variant="bpram",
+                           oversample=16, seed=14)
+        ref = np.sort(a.inputs.ravel())
+        for res in (a, b, c):
+            assert np.array_equal(np.concatenate(res.returns), ref)
+
+    def test_same_trace_priced_by_every_model_orders_sanely(self):
+        """On the GCel block sort: BSP >> MP-BSP-ish >> measured-level
+        MP-BPRAM — the paper's Section 6 ranking."""
+        machine = GCel(seed=15)
+        cal = calibrate(machine, seed=15)
+        res = bitonic.run(machine, 256, variant="bpram", seed=15)
+        bsp = BSP(cal.params).trace_cost(res.trace)
+        mpbsp = MPBSP(cal.params).trace_cost(res.trace)
+        bpram = MPBPRAM(cal.params).trace_cost(res.trace)
+        assert bpram < bsp < mpbsp
+        assert bsp / bpram > 20
+
+
+class TestExamples:
+    """Every shipped example must run clean (they print; that's fine)."""
+
+    @pytest.mark.parametrize("script", [
+        "quickstart.py",
+        "choosing_an_algorithm.py",
+        "custom_machine.py",
+        "model_validation_study.py",
+    ])
+    def test_example_runs(self, script, capsys):
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+
+    def test_quickstart_shows_the_gap(self, capsys):
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "mp-bpram" in out and "bsp" in out

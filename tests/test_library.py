@@ -1,0 +1,56 @@
+"""Tests for the simulated vendor library routines (Section 7)."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.library import cmssl, maspar_matmul
+
+
+class TestMasParIntrinsic:
+    def test_published_point(self):
+        # paper §7: 61.7 Mflops at N = 700
+        assert maspar_matmul.mflops(700) == pytest.approx(61.7, rel=0.03)
+
+    def test_below_peak(self):
+        for N in (64, 128, 256, 512, 700, 1024):
+            assert maspar_matmul.mflops(N) < maspar_matmul.PEAK_MFLOPS
+
+    def test_monotone_in_N(self):
+        rates = [maspar_matmul.mflops(N) for N in (64, 128, 256, 512, 700)]
+        assert rates == sorted(rates)
+
+    def test_time_consistent(self):
+        N = 512
+        assert maspar_matmul.time_us(N) == pytest.approx(
+            2 * N ** 3 / maspar_matmul.mflops(N))
+
+    def test_bad_N(self):
+        with pytest.raises(ModelError):
+            maspar_matmul.mflops(0)
+
+
+class TestCMSSL:
+    def test_never_exceeds_151(self):
+        # paper §7: "gen_matrix_mult never achieves more than 151 Mflops"
+        for N in (32, 64, 128, 256, 512, 1024, 4096):
+            assert cmssl.mflops(N) <= 151.0
+
+    def test_reaches_about_150_at_512(self):
+        assert cmssl.mflops(512) == pytest.approx(150, abs=5)
+
+    def test_far_below_scalar_peak(self):
+        assert cmssl.mflops(512) < 0.3 * cmssl.SCALAR_PEAK_MFLOPS
+
+    def test_vector_units_build(self):
+        # paper §7: 1016 Mflops at N = 512 with the vector units
+        assert cmssl.mflops_vector_units(512) == pytest.approx(1016, rel=0.03)
+        assert cmssl.mflops_vector_units(512) > 6 * cmssl.mflops(512)
+
+    def test_time_positive(self):
+        assert cmssl.time_us(256) > 0
+
+    def test_bad_N(self):
+        with pytest.raises(ModelError):
+            cmssl.mflops(-1)
+        with pytest.raises(ModelError):
+            cmssl.mflops_vector_units(0)

@@ -1,0 +1,100 @@
+"""Tests for per-superstep error attribution and trace profiling."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import apsp, matmul
+from repro.core import BSP, paper_params
+from repro.core.errors import TraceError
+from repro.core.relations import CommPhase
+from repro.core.trace import Superstep, Trace
+from repro.machines import CM5, GCel
+from repro.validation.attribution import (
+    _family,
+    attribute_error,
+    render_attribution,
+    time_by_label,
+)
+
+
+class TestFamily:
+    @pytest.mark.parametrize("label,family", [
+        ("col-scatter-17", "col-scatter"),
+        ("r3-allgather", "r-allgather"),
+        ("c0-scatter", "c-scatter"),
+        ("merge-2.1", "merge"),
+        ("halo-9", "halo"),
+        ("replicate", "replicate"),
+        ("", "(unlabelled)"),
+        ("123", "(numeric)"),
+    ])
+    def test_collapsing(self, label, family):
+        assert _family(label) == family
+
+
+class TestTimeByLabel:
+    def test_aggregates_iterations(self, cm5):
+        res = apsp.run(cm5, 16, P=16, seed=0)
+        profile = time_by_label(res.trace)
+        assert "c-scatter" in profile and "r-allgather" in profile
+        assert sum(profile.values()) == pytest.approx(res.time_us, rel=1e-6)
+
+    def test_sorted_descending(self, cm5):
+        res = matmul.run(cm5, 32, variant="bsp-staggered", seed=0)
+        values = list(time_by_label(res.trace).values())
+        assert values == sorted(values, reverse=True)
+
+    def test_unsimulated_trace_rejected(self):
+        tr = Trace(P=4)
+        tr.append(Superstep(phase=CommPhase.empty(4)))
+        with pytest.raises(TraceError):
+            time_by_label(tr)
+
+
+class TestAttribution:
+    def test_apsp_error_lands_on_the_scatter(self):
+        """The paper's Fig. 13 diagnosis, mechanised."""
+        machine = GCel(seed=5)
+        res = apsp.run(machine, 32, seed=5)
+        rows = attribute_error(res.trace, BSP(paper_params("gcel")))
+        scatter = [r for r in rows if r.label.endswith("-scatter")]
+        allgather = [r for r in rows if r.label.endswith("-allgather")]
+        assert all(r.error > 1.0 for r in scatter)      # grossly overpriced
+        assert all(abs(r.error) < 0.15 for r in allgather)  # priced fairly
+        # and the scatter rows top the ranking
+        assert rows[0].label.endswith("-scatter")
+
+    def test_totals_match_plain_pricing(self, cm5):
+        res = matmul.run(cm5, 32, variant="bsp-staggered", seed=1)
+        model = BSP(paper_params("cm5"))
+        rows = attribute_error(res.trace, model)
+        assert sum(r.predicted_us for r in rows) == pytest.approx(
+            model.trace_cost(res.trace))
+        assert sum(r.measured_us for r in rows) == pytest.approx(
+            res.time_us, rel=1e-6)
+
+    def test_gap_sign_convention(self):
+        machine = CM5(seed=2)
+        res = matmul.run(machine, 128, variant="bsp", seed=2)  # unstaggered
+        rows = attribute_error(res.trace, BSP(paper_params("cm5")))
+        comm = [r for r in rows if r.label in ("replicate",
+                                               "exchange-partials")]
+        assert comm and all(r.gap_us < 0 for r in comm)  # underestimated
+
+
+class TestRendering:
+    def test_table_shows_total(self, cm5):
+        res = matmul.run(cm5, 32, variant="bsp-staggered", seed=0)
+        text = render_attribution(
+            attribute_error(res.trace, BSP(paper_params("cm5"))))
+        assert "total" in text and "gap" in text
+        assert "replicate" in text
+
+    def test_top_limits_rows(self, cm5):
+        res = apsp.run(cm5, 16, P=16, seed=0)
+        rows = attribute_error(res.trace, BSP(paper_params("cm5")))
+        text = render_attribution(rows, top=2)
+        body = [ln for ln in text.splitlines()
+                if ln and not ln.startswith(("Model", "superstep", "-",
+                                             "total"))]
+        assert len(body) == 2

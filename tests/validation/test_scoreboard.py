@@ -1,0 +1,65 @@
+"""Tests for the cross-model accuracy scoreboard."""
+
+import pytest
+
+from repro.validation.scoreboard import Cell, Scoreboard, build_scoreboard, render_scoreboard
+
+
+@pytest.fixture(scope="module")
+def board():
+    return build_scoreboard(scale=0.3, seed=1)
+
+
+class TestCell:
+    def test_signed_error(self):
+        c = Cell("w", "m", "bsp", measured_us=100.0, predicted_us=150.0)
+        assert c.error == pytest.approx(0.5)
+        c2 = Cell("w", "m", "bsp", measured_us=100.0, predicted_us=50.0)
+        assert c2.error == pytest.approx(-0.5)
+
+
+class TestScoreboard:
+    def test_models_present(self, board):
+        models = board.models()
+        for name in ("pram", "bsp", "mp-bsp", "mp-bpram", "loggp"):
+            assert name in models
+        assert "e-bsp" in models  # the MasPar row brings it in
+
+    def test_rows_cover_matrix(self, board):
+        rows = board.rows()
+        assert ("matmul", "cm5") in rows
+        assert ("bitonic-blk", "gcel") in rows
+        assert len(rows) == 5
+
+    def test_error_lookup(self, board):
+        err = board.error("matmul", "cm5", "bsp")
+        assert err is not None and abs(err) < 0.4
+
+    def test_missing_cell_is_none(self, board):
+        assert board.error("matmul", "cm5", "e-bsp") is None
+
+    def test_pram_always_underestimates(self, board):
+        for cell in board.cells:
+            if cell.model == "pram":
+                assert cell.error < 0
+
+    def test_fine_grain_model_explodes_on_block_gcel(self, board):
+        # the paper's factor-~100 observation, as a scoreboard cell
+        err = board.error("bitonic-blk", "gcel", "bsp")
+        assert err is not None and err > 10
+
+    def test_bpram_accurate_on_its_home_turf(self, board):
+        err = board.error("bitonic-blk", "gcel", "mp-bpram")
+        assert err is not None and abs(err) < 0.10
+
+    def test_worst_model_is_a_fine_grain_one(self, board):
+        assert board.worst_model() in ("bsp", "mp-bsp")
+
+
+class TestRendering:
+    def test_table_contains_all_models(self, board):
+        text = render_scoreboard(board)
+        for name in board.models():
+            assert name in text
+        assert "least faithful" in text
+        assert "-" in text  # the missing e-bsp cells

@@ -1,0 +1,86 @@
+"""Tests for experiment result containers and error statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.validation.compare import (
+    max_abs_relative_error,
+    mean_relative_error,
+    overestimation_factor,
+    relative_errors,
+)
+from repro.validation.series import Check, ExperimentResult, Series
+
+
+class TestSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ExperimentError):
+            Series("a", [1, 2], [1])
+
+    def test_at(self):
+        s = Series("a", [1, 2, 4], [10, 20, 40])
+        assert s.at(2) == 20
+
+    def test_at_missing(self):
+        with pytest.raises(ExperimentError):
+            Series("a", [1, 2], [1, 2]).at(3)
+
+
+class TestExperimentResult:
+    def _result(self):
+        r = ExperimentResult(experiment="x", title="t", x_label="x",
+                             y_label="y")
+        r.series.append(Series("m", [1, 2], [1, 2]))
+        return r
+
+    def test_get_by_name(self):
+        r = self._result()
+        assert r.get("m").name == "m"
+        with pytest.raises(ExperimentError, match="no series"):
+            r.get("nope")
+
+    def test_checks_and_passed(self):
+        r = self._result()
+        r.check("ok", True, "fine")
+        assert r.passed
+        r.check("bad", False, "oops")
+        assert not r.passed
+        assert "FAIL" in str(r.checks[1])
+
+    def test_check_coerces_numpy_bool(self):
+        r = self._result()
+        c = r.check("np", np.bool_(True))
+        assert c.passed is True
+
+
+class TestCompare:
+    def test_relative_errors_sign(self):
+        m = Series("measured", [1, 2], [100, 100])
+        p = Series("pred", [1, 2], [110, 90])
+        errs = relative_errors(m, p)
+        assert errs[0] == pytest.approx(0.10)
+        assert errs[1] == pytest.approx(-0.10)
+
+    def test_max_and_mean(self):
+        m = Series("measured", [1, 2], [100, 100])
+        p = Series("pred", [1, 2], [150, 100])
+        assert max_abs_relative_error(m, p) == pytest.approx(0.5)
+        assert mean_relative_error(m, p) == pytest.approx(0.25)
+
+    def test_overestimation_factor(self):
+        m = Series("measured", [1, 2], [100, 200])
+        p = Series("pred", [1, 2], [200, 400])
+        assert overestimation_factor(m, p) == pytest.approx(2.0)
+
+    def test_grid_mismatch_rejected(self):
+        m = Series("measured", [1, 2], [1, 2])
+        p = Series("pred", [1, 3], [1, 2])
+        with pytest.raises(ExperimentError):
+            relative_errors(m, p)
+
+    def test_nonpositive_measured_rejected(self):
+        m = Series("measured", [1], [0])
+        p = Series("pred", [1], [1])
+        with pytest.raises(ExperimentError):
+            relative_errors(m, p)

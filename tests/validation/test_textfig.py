@@ -1,0 +1,57 @@
+"""Tests for the text rendering of figures."""
+
+from repro.validation.series import ExperimentResult, Series
+from repro.validation.textfig import render_ascii_plot, render_result, render_table
+
+
+def sample_result():
+    r = ExperimentResult(experiment="figX", title="Demo figure",
+                         x_label="N", y_label="time (us)")
+    r.series.append(Series("measured", [1, 2, 4], [10.0, 20.5, 41.0]))
+    r.series.append(Series("predicted", [1, 2, 4], [11.0, 22.0, 44.0]))
+    r.check("demo claim", True, "all good")
+    r.notes.append("just a note")
+    return r
+
+
+class TestRenderTable:
+    def test_columns_present(self):
+        text = render_table(sample_result())
+        assert "measured" in text and "predicted" in text
+        assert "20.5" in text
+
+    def test_empty(self):
+        r = ExperimentResult(experiment="e", title="t", x_label="x",
+                             y_label="y")
+        assert "no series" in render_table(r)
+
+
+class TestRenderPlot:
+    def test_plot_draws_markers(self):
+        text = render_ascii_plot(sample_result())
+        assert "*" in text and "+" in text
+        assert "Demo figure" in text
+
+    def test_log_scale_label(self):
+        r = sample_result()
+        r.series[0] = Series("measured", [1, 2, 4], [1.0, 100.0, 10000.0])
+        text = render_ascii_plot(r, logy=True)
+        assert "log10" in text
+
+    def test_flat_series_does_not_crash(self):
+        r = ExperimentResult(experiment="e", title="t", x_label="x",
+                             y_label="y")
+        r.series.append(Series("const", [1, 1], [5, 5]))
+        assert render_ascii_plot(r)
+
+
+class TestRenderResult:
+    def test_full_report(self):
+        text = render_result(sample_result())
+        assert "figX" in text
+        assert "[PASS] demo claim" in text
+        assert "just a note" in text
+
+    def test_no_plot(self):
+        text = render_result(sample_result(), plot=False)
+        assert "time (us)" not in text.split("Checks")[0].split("\n")[0]
