@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the golden-figure snapshots under ``tests/golden/``.
+
+Run after an *intentional* change to simulated series:
+
+    PYTHONPATH=src python scripts/update_golden.py
+
+and commit the resulting JSON together with the code change.  The golden
+tests (``tests/test_golden.py``) assert bit-identical reproduction of
+these snapshots, so an unintentional diff here means a determinism or
+behaviour regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import get  # noqa: E402
+
+#: (experiment id, scale, seed) — a fast subset covering both machines,
+#: calibration fits and an algorithm figure.
+GOLDEN = [
+    ("fig1", 0.3, 0),
+    ("fig4", 0.3, 0),
+    ("fig14", 0.3, 0),
+    ("table1", 0.3, 0),
+]
+
+
+def main() -> int:
+    out_dir = Path(__file__).resolve().parents[1] / "tests" / "golden"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id, scale, seed in GOLDEN:
+        result = get(exp_id).run(scale=scale, seed=seed)
+        doc = {"scale": scale, "seed": seed, "result": result.to_dict()}
+        path = out_dir / f"{exp_id}.json"
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path} ({'PASS' if result.passed else 'FAIL'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,15 @@ from .microbench import (
     partial_permutation_experiment,
     time_phase,
 )
-from .table1 import Calibration, calibrate, calibrate_all, render_table1
+from .table1 import (
+    Calibration,
+    calibrate,
+    calibrate_all,
+    calibration_for,
+    calibration_memo_stats,
+    clear_calibration_memo,
+    render_table1,
+)
 
 __all__ = [
     "TimingSeries",
@@ -28,6 +36,9 @@ __all__ = [
     "r_squared",
     "Calibration",
     "calibrate",
+    "calibration_for",
     "calibrate_all",
+    "calibration_memo_stats",
+    "clear_calibration_memo",
     "render_table1",
 ]

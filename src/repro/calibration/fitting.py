@@ -8,6 +8,8 @@ timings (yielding ``T_unb``, §3.1).
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
+
 import numpy as np
 
 from ..core.errors import CalibrationError
@@ -17,16 +19,28 @@ from .microbench import TimingSeries
 __all__ = ["LineFit", "fit_line", "fit_unbalanced", "r_squared"]
 
 
+@dataclass(frozen=True)
 class LineFit:
-    """A fitted straight line ``y = slope * x + intercept``."""
+    """A fitted straight line ``y = slope * x + intercept``.
 
-    def __init__(self, slope: float, intercept: float, r2: float):
-        self.slope = slope
-        self.intercept = intercept
-        self.r2 = r2
+    Frozen and JSON-serialisable so memoised calibrations can be shared
+    (and, if persisted, round-tripped) without aliasing hazards.
+    """
+
+    slope: float
+    intercept: float
+    r2: float
 
     def __call__(self, x: float) -> float:
         return self.slope * x + self.intercept
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LineFit":
+        return cls(slope=data["slope"], intercept=data["intercept"],
+                   r2=data["r2"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"LineFit(slope={self.slope:.4g}, "

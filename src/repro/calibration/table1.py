@@ -28,7 +28,15 @@ from .microbench import (
     partial_permutation_experiment,
 )
 
-__all__ = ["Calibration", "calibrate", "calibrate_all", "render_table1"]
+__all__ = [
+    "Calibration",
+    "calibrate",
+    "calibration_for",
+    "calibrate_all",
+    "calibration_memo_stats",
+    "clear_calibration_memo",
+    "render_table1",
+]
 
 
 @dataclass
@@ -117,10 +125,55 @@ def calibrate(machine: Machine, *, seed: int = 0,
     return cal
 
 
+# ----------------------------------------------------------------------
+# Shared fit memoisation.  One whole-paper sweep asks for the same Table 1
+# fits dozens of times (every figure calibrates its machine); the memo
+# computes each (machine config, seeds, trials) combination once per
+# process.  Keys carry the machine-construction seed separately from the
+# calibration seed so call sites with different seeding conventions never
+# alias.  Returned objects are shared: treat them as frozen.
+# ----------------------------------------------------------------------
+
+_MEMO: dict[tuple, Calibration] = {}
+_MEMO_STATS = {"hits": 0, "misses": 0}
+
+
+def calibration_for(name: str, *, P: int | None = None, machine_seed: int = 0,
+                    seed: int = 0, trials: int = 10) -> Calibration:
+    """Memoised calibration of a freshly constructed machine.
+
+    Unlike :func:`calibrate` (which benchmarks a caller-owned machine and
+    advances its RNG), this builds the machine itself, so a memo hit is
+    observationally identical to a recomputation.
+    """
+    kwargs = {} if P is None else {"P": P}
+    machine = make_machine(name, seed=machine_seed, **kwargs)
+    key = (name, machine.P, machine_seed, seed, trials)
+    cal = _MEMO.get(key)
+    if cal is not None:
+        _MEMO_STATS["hits"] += 1
+        return cal
+    _MEMO_STATS["misses"] += 1
+    cal = calibrate(machine, seed=seed, trials=trials)
+    _MEMO[key] = cal
+    return cal
+
+
+def calibration_memo_stats() -> dict[str, int]:
+    """Copy of the process-wide memo hit/miss counters."""
+    return dict(_MEMO_STATS)
+
+
+def clear_calibration_memo() -> None:
+    """Drop every memoised calibration and reset the counters."""
+    _MEMO.clear()
+    _MEMO_STATS["hits"] = _MEMO_STATS["misses"] = 0
+
+
 def calibrate_all(*, seed: int = 0, trials: int = 10) -> dict[str, Calibration]:
-    """Calibrate the three paper machines."""
-    return {name: calibrate(make_machine(name, seed=seed + i), seed=seed,
-                            trials=trials)
+    """Calibrate the three paper machines (memoised per process)."""
+    return {name: calibration_for(name, machine_seed=seed + i, seed=seed,
+                                  trials=trials)
             for i, name in enumerate(("maspar", "gcel", "cm5"))}
 
 

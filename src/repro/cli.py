@@ -5,7 +5,11 @@ Subcommands:
 * ``list`` — every registered experiment (tables, figures, ablations,
   extensions);
 * ``run <id> [...]`` — run experiments and print the data table, an ASCII
-  plot and the paper-claim checks (``--json FILE`` dumps the results);
+  plot and the paper-claim checks (``--json FILE`` dumps the results).
+  ``--all`` sweeps the whole registry, ``--jobs N`` fans misses out over
+  a process pool, and results are served from the content-addressed
+  cache unless ``--no-cache``/``--force`` say otherwise;
+* ``cache`` — inspect (``info``) or empty (``clear``) the result cache;
 * ``table1`` — calibrate the three machines and print fitted-vs-paper
   parameters;
 * ``scoreboard`` — price a workload matrix under six cost models and
@@ -18,11 +22,12 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import __version__
 from .calibration import calibrate_all, render_table1
-from .experiments import all_experiments, get
+from .experiments import all_experiments
 from .machines import MACHINES
 from .validation.textfig import render_result
 
@@ -40,15 +45,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list all experiments")
 
     run = sub.add_parser("run", help="run one or more experiments")
-    run.add_argument("ids", nargs="+",
+    run.add_argument("ids", nargs="*",
                      help="experiment ids (e.g. fig12), or 'all'")
+    run.add_argument("--all", action="store_true", dest="run_all",
+                     help="run every registered experiment")
     run.add_argument("--scale", type=float, default=1.0,
                      help="problem-size scale in (0, 1] (default 1.0)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for uncached experiments "
+                          "(default 1: run in-process)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="neither read nor write the result cache")
+    run.add_argument("--force", action="store_true",
+                     help="recompute even on a cache hit (refreshes the "
+                          "stored entry)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache root (default: $REPRO_CACHE_DIR or "
+                          "~/.cache/repro)")
     run.add_argument("--no-plot", action="store_true",
                      help="omit the ASCII plot")
     run.add_argument("--json", metavar="FILE", default=None,
                      help="also dump all results as JSON to FILE")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
 
     t1 = sub.add_parser("table1", help="calibrate machines, print Table 1")
     t1.add_argument("--seed", type=int, default=0)
@@ -85,18 +109,33 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
-             json_path: str | None = None) -> int:
-    if ids == ["all"]:
-        ids = list(all_experiments())
+             json_path: str | None = None, *, jobs: int = 1,
+             use_cache: bool = True, force: bool = False,
+             cache_dir: str | None = None) -> int:
+    from .core.errors import ExperimentError
+    from .runner import ResultCache, run_experiments
+
+    if not ids:
+        print("error: no experiment ids given (or use --all)",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(cache_dir) if use_cache else None
+    try:
+        outcomes = run_experiments(ids, scale=scale, seed=seed, jobs=jobs,
+                                   cache=cache, force=force)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     failed = 0
     dumped = []
-    for exp_id in ids:
-        result = get(exp_id).run(scale=scale, seed=seed)
-        print(render_result(result, plot=plot))
+    for out in outcomes:
+        print(render_result(out.result, plot=plot))
         print()
-        dumped.append(result.to_dict())
-        if not result.passed:
+        dumped.append(out.result.to_dict())
+        if not out.result.passed:
             failed += 1
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()} — {cache.root}")
     if json_path:
         import json
 
@@ -107,6 +146,25 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
     if failed:
         print(f"{failed} experiment(s) had failing checks", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_cache(action: str, cache_dir: str | None) -> int:
+    from .runner import ResultCache
+
+    cache = ResultCache(cache_dir)
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"cache root: {cache.root}")
+    print(f"{len(entries)} cached result(s)")
+    for e in entries:
+        exp = e.get("experiment", "?")
+        print(f"  {exp:<16} scale={e.get('scale', '?'):<6} "
+              f"seed={e.get('seed', '?'):<4} {e['bytes']:>8} bytes  "
+              f"{e['key'][:12]}")
+    return 0
 
 
 def _cmd_table1(seed: int, trials: int) -> int:
@@ -189,12 +247,29 @@ def _cmd_machines() -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Reader of a `repro ... | head`-style pipe went away; exit with
+        # the conventional SIGPIPE status instead of a traceback.  Point
+        # stdout at devnull first so the interpreter's shutdown flush
+        # does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.ids, args.scale, args.seed, not args.no_plot,
-                        args.json)
+        ids = ["all"] if args.run_all else args.ids
+        return _cmd_run(ids, args.scale, args.seed, not args.no_plot,
+                        args.json, jobs=args.jobs,
+                        use_cache=not args.no_cache, force=args.force,
+                        cache_dir=args.cache_dir)
+    if args.command == "cache":
+        return _cmd_cache(args.action, args.cache_dir)
     if args.command == "table1":
         return _cmd_table1(args.seed, args.trials)
     if args.command == "scoreboard":

@@ -39,8 +39,12 @@ class DeadlockError(SimulationError):
     """Some virtual processors are blocked while others have terminated."""
 
 
-class MailboxError(SimulationError):
-    """A receive did not match any delivered message."""
+class MailboxError(DeadlockError):
+    """A receive did not match any delivered message.
+
+    On a real machine this processor would block forever, so the error
+    is a :class:`DeadlockError` (and transitively a simulation error).
+    """
 
 
 class CalibrationError(ReproError):

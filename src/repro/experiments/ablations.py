@@ -29,7 +29,8 @@ from .matmul_figs import MASPAR_MM_P
 
 
 @register("abl-stagger", "Staggered vs unstaggered schedules, all machines",
-          "ablation of Section 5.1")
+          "ablation of Section 5.1",
+          machines=("cm5", "gcel", "maspar"))
 def abl_stagger(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     configs = [
         ("cm5", None, max(64, int(256 * scale) // 16 * 16)),
@@ -62,7 +63,8 @@ def abl_stagger(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("abl-msgsize", "Message-size sweep for bitonic sort",
-          "ablation of Section 8")
+          "ablation of Section 8",
+          machines=("maspar", "cm5"))
 def abl_msgsize(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     M = max(128, int(256 * scale) // 64 * 64)
     groups = [1, 2, 4, 8]
@@ -100,7 +102,8 @@ def abl_msgsize(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("abl-sync", "Barrier interval for GCel message streams",
-          "ablation of Section 5.1 (Fig. 7's fix)")
+          "ablation of Section 5.1 (Fig. 7's fix)",
+          machines=("gcel",))
 def abl_sync(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     h = max(400, int(1000 * scale))
     intervals = [32, 64, 128, 256, 512, 1024]
@@ -138,7 +141,8 @@ def abl_sync(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("abl-layout", "Initial distribution vs block transfers",
-          "ablation of Section 4.1")
+          "ablation of Section 4.1",
+          machines=("gcel", "cm5"))
 def abl_layout(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     """§4.1: "the ability to use blocks of this size depends on the
     initial distribution of the matrices.  If the initial distribution
@@ -182,7 +186,8 @@ def abl_layout(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("abl-radix", "Radix width of the local sort",
-          "ablation of Section 4.2.1")
+          "ablation of Section 4.2.1",
+          machines=("maspar", "gcel", "cm5"))
 def abl_radix(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     """The paper uses an 8-bit radix sort (§4.2.1): T = (b/r)(beta 2^r +
     gamma n).  Sweep r on each platform's coefficients and verify r = 8
@@ -215,7 +220,8 @@ def abl_radix(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("abl-oversample", "Sample sort oversampling ratio",
-          "ablation of Section 4.3")
+          "ablation of Section 4.3",
+          machines=("gcel",))
 def abl_oversample(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     M = max(256, int(1024 * scale) // 128 * 128)
     Ss = [4, 8, 16, 32, 64, 128]

@@ -22,7 +22,8 @@ def _measure(machine, Ns, seed):
 
 
 @register("fig12", "All pairs shortest path on the MasPar",
-          "Fig. 12, Section 5.3")
+          "Fig. 12, Section 5.3",
+          machines=("maspar",))
 def fig12(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # Full scale: P = 1024, N up to 512 (M = 16 < sqrt(P) = 32, like the
     # paper).  Reduced scales shrink the machine, keeping M < sqrt(P).
@@ -81,7 +82,8 @@ def fig12(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig13", "All pairs shortest path on the GCel",
-          "Fig. 13, Section 5.3")
+          "Fig. 13, Section 5.3",
+          machines=("gcel",))
 def fig13(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("gcel", seed=seed)
     cal = calibrated(machine, seed=seed)
@@ -115,7 +117,8 @@ def fig13(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig15", "All pairs shortest path on the CM-5",
-          "Fig. 15, Section 5.3")
+          "Fig. 15, Section 5.3",
+          machines=("cm5",))
 def fig15(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("cm5", seed=seed)
     params = calibrated(machine, seed=seed).params

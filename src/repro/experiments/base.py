@@ -1,8 +1,17 @@
-"""Experiment registry: one entry per paper table/figure."""
+"""Experiment registry: one entry per paper table/figure.
+
+Besides the runnable entry point, each registration declares the
+metadata the runner (:mod:`repro.runner`) needs to cache results
+safely: which simulated machines the experiment exercises and a
+``rev`` counter an author can bump to invalidate that experiment's
+cache entries without any code change (the code fingerprint already
+invalidates on *any* source edit; ``rev`` covers e.g. regenerated
+reference data).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.errors import ExperimentError
@@ -14,6 +23,9 @@ Runner = Callable[..., ExperimentResult]
 
 _REGISTRY: dict[str, "Experiment"] = {}
 
+#: every valid value of ``Experiment.machines`` entries.
+KNOWN_MACHINES = ("maspar", "gcel", "cm5", "t800")
+
 
 @dataclass(frozen=True)
 class Experiment:
@@ -23,6 +35,10 @@ class Experiment:
     title: str
     paper_ref: str
     runner: Runner
+    #: simulated machines this experiment runs on (cache metadata).
+    machines: tuple[str, ...] = field(default=())
+    #: bump to invalidate cached results of this experiment only.
+    rev: int = 1
 
     def run(self, *, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         if not 0 < scale <= 1.0:
@@ -30,15 +46,25 @@ class Experiment:
                 f"scale must be in (0, 1], got {scale}")
         return self.runner(scale=scale, seed=seed)
 
+    def cache_inputs(self) -> dict:
+        """The experiment-declared part of its cache key."""
+        return {"machines": list(self.machines), "rev": self.rev}
 
-def register(exp_id: str, title: str, paper_ref: str):
+
+def register(exp_id: str, title: str, paper_ref: str, *,
+             machines: tuple[str, ...] = (), rev: int = 1):
     """Decorator registering an experiment runner under ``exp_id``."""
+    for m in machines:
+        if m not in KNOWN_MACHINES:
+            raise ExperimentError(
+                f"experiment {exp_id!r} declares unknown machine {m!r}")
 
     def deco(fn: Runner) -> Runner:
         if exp_id in _REGISTRY:
             raise ExperimentError(f"duplicate experiment id {exp_id!r}")
         _REGISTRY[exp_id] = Experiment(id=exp_id, title=title,
-                                       paper_ref=paper_ref, runner=fn)
+                                       paper_ref=paper_ref, runner=fn,
+                                       machines=tuple(machines), rev=rev)
         return fn
 
     return deco

@@ -19,7 +19,8 @@ from .common import machine_for
 
 
 @register("fig1", "Time for routing 1-h relations on the MasPar MP-1",
-          "Fig. 1, Section 3.1")
+          "Fig. 1, Section 3.1",
+          machines=("maspar",))
 def fig1(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     rng = np.random.default_rng(seed)
@@ -54,7 +55,8 @@ def fig1(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig2", "Partial permutations vs active PEs on the MasPar",
-          "Fig. 2, Section 3.1")
+          "Fig. 2, Section 3.1",
+          machines=("maspar",))
 def fig2(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     rng = np.random.default_rng(seed)
@@ -88,7 +90,8 @@ def fig2(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig7", "h-h permutations vs random h-relations on the GCel",
-          "Fig. 7, Section 5.1")
+          "Fig. 7, Section 5.1",
+          machines=("gcel",))
 def fig7(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     hs = np.array([50, 100, 200, 300, 400, 600, 800, 1000])
@@ -131,7 +134,8 @@ def fig7(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig14", "Full h-relations vs multinode scatter on the GCel",
-          "Fig. 14, Section 5.3")
+          "Fig. 14, Section 5.3",
+          machines=("gcel",))
 def fig14(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("gcel", seed=seed)
     rng = np.random.default_rng(seed)

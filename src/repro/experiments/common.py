@@ -9,9 +9,7 @@ the paper first determines Table 1 (Section 3) and then predicts with it
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from ..calibration.table1 import Calibration, calibrate
+from ..calibration.table1 import Calibration, calibration_for
 from ..machines import CM5, GCel, MasParMP1, T800Grid
 from ..machines.base import Machine
 
@@ -31,14 +29,17 @@ def machine_for(name: str, *, P: int | None = None, seed: int = 0) -> Machine:
     raise ValueError(f"unknown machine {name!r}")
 
 
-@lru_cache(maxsize=32)
-def _calibration(name: str, P: int, seed: int) -> Calibration:
-    return calibrate(machine_for(name, P=P, seed=seed + 1000), seed=seed)
-
-
 def calibrated(machine: Machine, *, seed: int = 0) -> Calibration:
-    """Memoised Section-3 calibration of a machine configuration."""
-    return _calibration(machine.name, machine.P, seed)
+    """Memoised Section-3 calibration of a machine configuration.
+
+    Shares :mod:`repro.calibration`'s process-wide memo, so figures and
+    the ``table1`` command fit each machine once per run.  The
+    ``seed + 1000`` machine seed keeps the calibration machine's RNG
+    stream distinct from the experiment machine's (seed convention of
+    the original per-figure calibrations, preserved bit-for-bit).
+    """
+    return calibration_for(machine.name, P=machine.P,
+                           machine_seed=seed + 1000, seed=seed)
 
 
 def scaled_sizes(sizes: list[int], scale: float, *, multiple: int = 1,

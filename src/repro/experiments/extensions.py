@@ -35,7 +35,8 @@ from .common import calibrated, machine_for, scaled_sizes
 
 
 @register("ext-models", "Six models price the same sort (extension)",
-          "extension of Sections 1, 2.2 and 6")
+          "extension of Sections 1, 2.2 and 6",
+          machines=("gcel",))
 def ext_models(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("gcel", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -88,7 +89,8 @@ def ext_models(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("ext-primitives", "Optimal BSP collectives: strategy crossover "
-          "(extension)", "extension of reference [16] (IPL '95)")
+          "(extension)", "extension of reference [16] (IPL '95)",
+          machines=("cm5",))
 def ext_primitives(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     from ..algorithms.collectives import broadcast
     from ..simulator import run_spmd
@@ -147,7 +149,8 @@ def ext_primitives(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("ext-misranking", "BSP picks the wrong algorithm (extension)",
-          "extension of Section 6 (the [18] misranking example)")
+          "extension of Section 6 (the [18] misranking example)",
+          machines=("gcel",))
 def ext_misranking(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     """Section 6: "by ignoring unbalanced communication the BSP model may
     incorrectly predict that one algorithm is superior to another."
@@ -249,7 +252,8 @@ def ext_misranking(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("ext-lu", "LU decomposition: a harder-to-parallelise problem "
-          "(extension)", "extension of Sections 4.4 and 8")
+          "(extension)", "extension of Sections 4.4 and 8",
+          machines=("gcel", "cm5"))
 def ext_lu(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     from ..algorithms import lu, matmul
     from ..core.predictions import bsp_lu, lu_flops
@@ -315,7 +319,8 @@ def ext_lu(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 @register("ext-t800", "General locality on a T800 grid (extension)",
           "extension of Section 3 (ref [15]) and the E-BSP report's "
-          "locality half")
+          "locality half",
+          machines=("t800",))
 def ext_t800(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     from ..algorithms import stencil
     from ..calibration.fitting import fit_line
@@ -390,7 +395,8 @@ def ext_t800(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("ext-sensitivity", "Messaging-cost sensitivity of the bulk-"
-          "transfer conclusion (extension)", "extension of Sections 6/8")
+          "transfer conclusion (extension)", "extension of Sections 6/8",
+          machines=("gcel",))
 def ext_sensitivity(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     M = max(256, int(1024 * scale) // 256 * 256)
     factors = [1.0, 0.5, 0.2, 0.1, 0.05]

@@ -14,7 +14,8 @@ from .matmul_figs import MASPAR_MM_P
 
 
 @register("fig19", "Model-derived matmuls vs the matmul intrinsic (MasPar)",
-          "Fig. 19, Section 7")
+          "Fig. 19, Section 7",
+          machines=("maspar",))
 def fig19(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     Ns = scaled_sizes([100, 200, 300, 400, 500, 700], scale, multiple=100)
@@ -54,7 +55,8 @@ def fig19(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig20", "Model-derived matmuls vs CMSSL gen_matrix_mult (CM-5)",
-          "Fig. 20, Section 7")
+          "Fig. 20, Section 7",
+          machines=("cm5",))
 def fig20(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("cm5", seed=seed)
     Ns = scaled_sizes([64, 128, 256, 512], scale, multiple=16)

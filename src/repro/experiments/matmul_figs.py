@@ -30,7 +30,8 @@ def _measure(machine, Ns, variant, seed, P=None):
 
 
 @register("fig3", "MP-BSP matrix multiplication on the MasPar",
-          "Fig. 3, Section 5.1")
+          "Fig. 3, Section 5.1",
+          machines=("maspar",))
 def fig3(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     params = calibrated(machine, seed=seed).params.with_updates(P=MASPAR_MM_P)
@@ -58,7 +59,8 @@ def fig3(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig4", "BSP matrix multiplication on the CM-5",
-          "Fig. 4, Section 5.1")
+          "Fig. 4, Section 5.1",
+          machines=("cm5",))
 def fig4(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("cm5", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -98,7 +100,8 @@ def fig4(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig8", "MP-BPRAM matrix multiplication on the MasPar",
-          "Fig. 8, Section 5.2")
+          "Fig. 8, Section 5.2",
+          machines=("maspar",))
 def fig8(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     params = calibrated(machine, seed=seed).params.with_updates(P=MASPAR_MM_P)
@@ -127,7 +130,8 @@ def fig8(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig9", "MP-BPRAM matrix multiplication on the CM-5",
-          "Fig. 9, Section 5.2")
+          "Fig. 9, Section 5.2",
+          machines=("cm5",))
 def fig9(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("cm5", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -156,7 +160,8 @@ def fig9(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig16", "BSP vs MP-BPRAM matmul throughput on the CM-5",
-          "Fig. 16, Section 6")
+          "Fig. 16, Section 6",
+          machines=("cm5",))
 def fig16(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("cm5", seed=seed)
     Ns = scaled_sizes([64, 128, 256, 512], scale, multiple=16)

@@ -21,7 +21,8 @@ def _per_key(machine, Ms, variant, seed, P=None):
 
 
 @register("fig5", "Bitonic sort time per key on the MasPar",
-          "Fig. 5, Section 5.1")
+          "Fig. 5, Section 5.1",
+          machines=("maspar",))
 def fig5(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -45,7 +46,8 @@ def fig5(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig6", "Bitonic sort time per key on the GCel (BSP versions)",
-          "Fig. 6, Section 5.1")
+          "Fig. 6, Section 5.1",
+          machines=("gcel",))
 def fig6(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     params = calibrated(machine_for("gcel", seed=seed), seed=seed).params
     Ms = scaled_sizes([256, 512, 1024, 2048, 4096], scale, multiple=128)
@@ -75,7 +77,8 @@ def fig6(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig10", "MP-BPRAM bitonic sort time per key on the MasPar",
-          "Fig. 10, Section 5.2")
+          "Fig. 10, Section 5.2",
+          machines=("maspar",))
 def fig10(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -106,7 +109,8 @@ def fig10(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig11", "MP-BPRAM bitonic sort time per key on the GCel",
-          "Fig. 11, Section 5.2")
+          "Fig. 11, Section 5.2",
+          machines=("gcel",))
 def fig11(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("gcel", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -135,7 +139,8 @@ def fig11(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig17", "MP-BSP vs MP-BPRAM bitonic sort on the MasPar",
-          "Fig. 17, Section 6")
+          "Fig. 17, Section 6",
+          machines=("maspar",))
 def fig17(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     machine = machine_for("maspar", seed=seed)
     params = calibrated(machine, seed=seed).params
@@ -164,7 +169,8 @@ def fig17(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 @register("fig18", "Bitonic sort vs sample sort (MP-BPRAM) on the GCel",
-          "Fig. 18, Section 6")
+          "Fig. 18, Section 6",
+          machines=("gcel",))
 def fig18(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     Ms = scaled_sizes([128, 256, 512, 1024, 2048], scale, multiple=64)
     S = 64

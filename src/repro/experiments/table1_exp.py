@@ -14,7 +14,8 @@ TOLERANCE = {"g": 0.15, "L": 0.25, "sigma": 0.15, "ell": 0.30}
 
 
 @register("table1", "Machine parameters (fitted vs published)",
-          "Table 1, Section 3")
+          "Table 1, Section 3",
+          machines=("maspar", "gcel", "cm5"))
 def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     trials = max(6, int(10 * scale))
     cals = calibrate_all(seed=seed, trials=trials)

@@ -1,0 +1,17 @@
+"""Parallel, cache-aware experiment execution (``repro run --jobs N``)."""
+
+from .cache import CacheStats, ResultCache, default_cache_root
+from .fingerprint import clear_fingerprint_memo, experiment_key, source_fingerprint
+from .pool import RunOutcome, resolve_ids, run_experiments
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache_root",
+    "experiment_key",
+    "source_fingerprint",
+    "clear_fingerprint_memo",
+    "RunOutcome",
+    "resolve_ids",
+    "run_experiments",
+]

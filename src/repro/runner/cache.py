@@ -1,0 +1,142 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Layout: one JSON file per entry under ``<root>/results/<key[:2]>/<key>.json``
+holding a metadata header (experiment id, scale, seed, code fingerprint)
+next to the full :class:`~repro.validation.series.ExperimentResult`
+serialisation.  JSON round-trips ``float64`` exactly (``repr`` is the
+shortest round-tripping decimal), so cached series are bit-identical to
+freshly computed ones — which the golden tests assert.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.  Writes
+are atomic (temp file + ``os.replace``) so a crashed run never leaves a
+truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.errors import ExperimentError
+from ..validation.series import ExperimentResult
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_root"]
+
+_FORMAT = 1
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: per-experiment outcome, id -> "hit" | "miss"
+    outcomes: dict[str, str] = field(default_factory=dict)
+
+    def record(self, exp_id: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.outcomes[exp_id] = "hit" if hit else "miss"
+
+    def summary(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"
+
+
+class ResultCache:
+    """Read/write access to the content-addressed result store."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ExperimentError(f"malformed cache key {key!r}")
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    def get(self, key: str, exp_id: str = "?") -> ExperimentResult | None:
+        """The cached result under ``key``, or None (corrupt entries miss)."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            if doc.get("format") != _FORMAT:
+                raise ValueError("unknown cache format")
+            result = ExperimentResult.from_dict(doc["result"])
+        except (OSError, ValueError, KeyError):
+            self.stats.record(exp_id, hit=False)
+            return None
+        self.stats.record(exp_id, hit=True)
+        return result
+
+    def put(self, key: str, result: ExperimentResult, *,
+            meta: dict | None = None) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"format": _FORMAT, "key": key, "meta": meta or {},
+               "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Metadata headers of every cache entry (sorted by experiment id)."""
+        out = []
+        results = self.root / "results"
+        if results.is_dir():
+            for path in sorted(results.glob("*/*.json")):
+                try:
+                    with open(path) as fh:
+                        doc = json.load(fh)
+                    out.append({"key": doc.get("key", path.stem),
+                                "bytes": path.stat().st_size,
+                                **doc.get("meta", {})})
+                except (OSError, ValueError):
+                    continue
+        return sorted(out, key=lambda e: (e.get("experiment", ""), e["key"]))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        results = self.root / "results"
+        if results.is_dir():
+            for path in results.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+            for sub in results.glob("*"):
+                try:
+                    sub.rmdir()
+                except OSError:
+                    continue
+        return removed

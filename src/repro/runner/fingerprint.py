@@ -1,0 +1,65 @@
+"""Code fingerprinting and cache-key derivation for the runner.
+
+A cached figure is only valid while the code that produced it is
+unchanged, so every cache key mixes in a *code fingerprint*: the SHA-256
+of every ``.py`` file in the :mod:`repro` package (path + contents, in
+sorted order).  Editing any module — an algorithm, a machine model, a
+tolerance in an experiment — therefore invalidates the whole cache,
+which errs on the side of recomputing rather than serving stale series.
+
+The experiment key itself is content-addressed: the SHA-256 of a
+canonical-JSON document holding the experiment id, its declared cache
+inputs (machines, parameter revision), the run parameters (scale, seed)
+and the code fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["source_fingerprint", "experiment_key", "clear_fingerprint_memo"]
+
+_FP_MEMO: dict[Path, str] = {}
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def source_fingerprint(root: Path | None = None) -> str:
+    """SHA-256 over every ``.py`` file of the package (memoised per root)."""
+    root = (_package_root() if root is None else Path(root)).resolve()
+    memo = _FP_MEMO.get(root)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _FP_MEMO[root] = digest.hexdigest()
+    return _FP_MEMO[root]
+
+
+def clear_fingerprint_memo() -> None:
+    """Forget memoised fingerprints (tests that rewrite sources use this)."""
+    _FP_MEMO.clear()
+
+
+def experiment_key(exp_id: str, *, scale: float, seed: int,
+                   fingerprint: str, inputs: dict | None = None) -> str:
+    """Content-addressed cache key for one experiment invocation."""
+    doc = {
+        "experiment": exp_id,
+        "scale": float(scale),
+        "seed": int(seed),
+        "code": fingerprint,
+        "inputs": inputs or {},
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,131 @@
+"""Parallel experiment execution with cache-aware scheduling.
+
+:func:`run_experiments` fans a batch of registered experiments out across
+a process pool.  The flow per experiment:
+
+1. derive its content-addressed key (:mod:`repro.runner.fingerprint`);
+2. probe the on-disk cache — hits are served in milliseconds;
+3. dispatch the misses to ``jobs`` worker processes (or run them inline
+   when ``jobs == 1``), then store each fresh result.
+
+Determinism: every experiment draws all randomness from generators
+seeded by its ``(seed, scale)`` arguments, so a result is a pure function
+of its cache key — parallel and serial runs are bit-identical, and a
+cache hit equals a recomputation.  Workers are separate processes, so
+per-process memoisation (calibration fits) never leaks between runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.errors import ExperimentError
+from ..validation.series import ExperimentResult
+from .cache import ResultCache
+from .fingerprint import experiment_key, source_fingerprint
+
+__all__ = ["RunOutcome", "resolve_ids", "run_experiments"]
+
+
+@dataclass
+class RunOutcome:
+    """One experiment's result plus how it was obtained."""
+
+    id: str
+    result: ExperimentResult
+    cached: bool
+    elapsed_s: float
+
+
+def resolve_ids(ids: list[str]) -> list[str]:
+    """Expand ``all``, validate every id, drop duplicates (order kept).
+
+    Raises :class:`ExperimentError` naming the valid ids on an unknown id.
+    """
+    from ..experiments import all_experiments
+
+    known = all_experiments()
+    if ids == ["all"]:
+        return list(known)
+    out: list[str] = []
+    for exp_id in ids:
+        if exp_id not in known:
+            valid = ", ".join(known)
+            raise ExperimentError(
+                f"unknown experiment {exp_id!r}; valid ids: {valid}")
+        if exp_id not in out:
+            out.append(exp_id)
+    return out
+
+
+def _worker(exp_id: str, scale: float, seed: int) -> dict:
+    """Run one experiment in a worker process (dict result pickles small)."""
+    from ..experiments import get
+
+    return get(exp_id).run(scale=scale, seed=seed).to_dict()
+
+
+def run_experiments(ids: list[str], *, scale: float = 1.0, seed: int = 0,
+                    jobs: int = 1, cache: ResultCache | None = None,
+                    force: bool = False) -> list[RunOutcome]:
+    """Run a batch of experiments, using ``cache`` and ``jobs`` workers.
+
+    ``cache=None`` disables caching entirely; ``force=True`` recomputes
+    even on a hit (and refreshes the stored entry).  Outcomes come back
+    in the order of ``ids``.
+    """
+    from ..experiments import all_experiments
+
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    ids = resolve_ids(ids)
+    registry = all_experiments()
+
+    fingerprint = source_fingerprint()
+    keys = {exp_id: experiment_key(
+        exp_id, scale=scale, seed=seed, fingerprint=fingerprint,
+        inputs=registry[exp_id].cache_inputs())
+        for exp_id in ids}
+
+    outcomes: dict[str, RunOutcome] = {}
+    misses: list[str] = []
+    for exp_id in ids:
+        if cache is not None and not force:
+            t0 = time.perf_counter()
+            hit = cache.get(keys[exp_id], exp_id)
+            if hit is not None:
+                outcomes[exp_id] = RunOutcome(
+                    id=exp_id, result=hit, cached=True,
+                    elapsed_s=time.perf_counter() - t0)
+                continue
+        misses.append(exp_id)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            fresh = {}
+            for exp_id in misses:
+                t0 = time.perf_counter()
+                result = registry[exp_id].run(scale=scale, seed=seed)
+                fresh[exp_id] = (result, time.perf_counter() - t0)
+        else:
+            fresh = {}
+            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as ex:
+                t0 = time.perf_counter()
+                futures = {exp_id: ex.submit(_worker, exp_id, scale, seed)
+                           for exp_id in misses}
+                for exp_id, fut in futures.items():
+                    result = ExperimentResult.from_dict(fut.result())
+                    fresh[exp_id] = (result, time.perf_counter() - t0)
+        for exp_id, (result, elapsed) in fresh.items():
+            if cache is not None:
+                if force:
+                    cache.stats.record(exp_id, hit=False)
+                cache.put(keys[exp_id], result, meta={
+                    "experiment": exp_id, "scale": scale, "seed": seed,
+                    "code": fingerprint})
+            outcomes[exp_id] = RunOutcome(id=exp_id, result=result,
+                                          cached=False, elapsed_s=elapsed)
+
+    return [outcomes[exp_id] for exp_id in ids]

@@ -34,6 +34,26 @@ class Series:
             raise ExperimentError(f"series {self.name!r} has no point x={x}")
         return float(self.ys[idx[0]])
 
+    # ------------------------------------------------------------------
+    # Serialisation.  JSON emits the shortest decimal that round-trips a
+    # float64, so to_dict -> from_dict reproduces the arrays bit for bit
+    # (what lets cached results stand in for fresh computations).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"name": self.name, "xs": self.xs.tolist(),
+                "ys": self.ys.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Series":
+        return cls(data["name"], data["xs"], data["ys"])
+
+    def identical(self, other: "Series") -> bool:
+        """Exact (bitwise) equality of name and both arrays."""
+        return (self.name == other.name
+                and self.xs.shape == other.xs.shape
+                and bool(np.all(self.xs == other.xs))
+                and bool(np.all(self.ys == other.ys)))
+
 
 @dataclass
 class Check:
@@ -87,8 +107,7 @@ class ExperimentResult:
             "title": self.title,
             "x_label": self.x_label,
             "y_label": self.y_label,
-            "series": [{"name": s.name, "xs": s.xs.tolist(),
-                        "ys": s.ys.tolist()} for s in self.series],
+            "series": [s.to_dict() for s in self.series],
             "checks": [{"name": c.name, "passed": c.passed,
                         "detail": c.detail} for c in self.checks],
             "notes": list(self.notes),
@@ -101,9 +120,22 @@ class ExperimentResult:
         result = cls(experiment=data["experiment"], title=data["title"],
                      x_label=data["x_label"], y_label=data["y_label"])
         for s in data["series"]:
-            result.series.append(Series(s["name"], s["xs"], s["ys"]))
+            result.series.append(Series.from_dict(s))
         for c in data["checks"]:
             result.checks.append(Check(name=c["name"], passed=c["passed"],
                                        detail=c.get("detail", "")))
         result.notes = list(data.get("notes", []))
         return result
+
+    def identical(self, other: "ExperimentResult") -> bool:
+        """Bit-exact equality of every field (golden/cache assertions)."""
+        return (self.experiment == other.experiment
+                and self.title == other.title
+                and self.x_label == other.x_label
+                and self.y_label == other.y_label
+                and len(self.series) == len(other.series)
+                and all(a.identical(b)
+                        for a, b in zip(self.series, other.series))
+                and [(c.name, c.passed, c.detail) for c in self.checks]
+                == [(c.name, c.passed, c.detail) for c in other.checks]
+                and self.notes == other.notes)

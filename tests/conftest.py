@@ -9,6 +9,16 @@ from repro.core.params import paper_params
 from repro.machines import CM5, GCel, MasParMP1
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the runner's result cache at a per-test directory.
+
+    Keeps tests hermetic: CLI invocations never read or pollute the
+    user's ``~/.cache/repro``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

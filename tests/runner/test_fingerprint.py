@@ -1,0 +1,62 @@
+"""Tests for code fingerprinting and cache-key derivation."""
+
+from repro.runner import clear_fingerprint_memo, experiment_key, source_fingerprint
+
+
+class TestSourceFingerprint:
+    def test_stable_within_process(self):
+        assert source_fingerprint() == source_fingerprint()
+
+    def test_covers_package_sources(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fp1 = source_fingerprint(tmp_path)
+        clear_fingerprint_memo()
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert source_fingerprint(tmp_path) != fp1
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fp1 = source_fingerprint(tmp_path)
+        clear_fingerprint_memo()
+        (tmp_path / "b.py").write_text("")
+        assert source_fingerprint(tmp_path) != fp1
+
+    def test_non_python_files_ignored(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fp1 = source_fingerprint(tmp_path)
+        clear_fingerprint_memo()
+        (tmp_path / "notes.txt").write_text("irrelevant")
+        assert source_fingerprint(tmp_path) == fp1
+
+    def test_memoised_until_cleared(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fp1 = source_fingerprint(tmp_path)
+        (tmp_path / "a.py").write_text("x = 3\n")
+        # stale memo served until explicitly cleared
+        assert source_fingerprint(tmp_path) == fp1
+        clear_fingerprint_memo()
+        assert source_fingerprint(tmp_path) != fp1
+
+
+class TestExperimentKey:
+    def test_key_is_hex_sha256(self):
+        key = experiment_key("fig1", scale=1.0, seed=0, fingerprint="abc")
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_key_varies_with_every_input(self):
+        base = dict(scale=1.0, seed=0, fingerprint="abc", inputs={"rev": 1})
+        key = experiment_key("fig1", **base)
+        assert experiment_key("fig2", **base) != key
+        assert experiment_key("fig1", **{**base, "scale": 0.5}) != key
+        assert experiment_key("fig1", **{**base, "seed": 1}) != key
+        assert experiment_key("fig1", **{**base, "fingerprint": "def"}) != key
+        assert experiment_key(
+            "fig1", **{**base, "inputs": {"rev": 2}}) != key
+
+    def test_key_deterministic(self):
+        a = experiment_key("fig1", scale=0.3, seed=7, fingerprint="f",
+                           inputs={"machines": ["gcel"]})
+        b = experiment_key("fig1", scale=0.3, seed=7, fingerprint="f",
+                           inputs={"machines": ["gcel"]})
+        assert a == b

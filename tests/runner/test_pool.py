@@ -1,0 +1,106 @@
+"""Tests for the parallel experiment executor (and the acceptance criteria:
+parallel == serial bit-identically, and a warm cache serves a repeat batch
+at least 5x faster than the cold run)."""
+
+import time
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.runner import ResultCache, resolve_ids, run_experiments
+
+#: a cheap but non-trivial batch (two machines, calibration, microbenches)
+BATCH = ["fig1", "fig2", "fig14", "table1"]
+
+
+class TestResolveIds:
+    def test_all_expands_to_registry(self):
+        ids = resolve_ids(["all"])
+        assert "fig1" in ids and "table1" in ids and "ext-lu" in ids
+        assert len(ids) == 33
+
+    def test_duplicates_dropped_order_kept(self):
+        assert resolve_ids(["fig2", "fig1", "fig2"]) == ["fig2", "fig1"]
+
+    def test_unknown_id_lists_valid_ones(self):
+        with pytest.raises(ExperimentError, match="valid ids:.*fig14"):
+            resolve_ids(["fig1", "nope"])
+
+    def test_jobs_validated(self):
+        with pytest.raises(ExperimentError, match="jobs"):
+            run_experiments(["fig14"], jobs=0)
+
+
+class TestSerialExecution:
+    def test_uncached_run_without_cache(self):
+        (out,) = run_experiments(["fig14"], scale=0.3, cache=None)
+        assert out.id == "fig14"
+        assert not out.cached
+        assert out.result.passed
+
+    def test_cache_round_trip_equals_fresh(self, tmp_path):
+        """Cache-hit result == cache-miss result, bit for bit."""
+        cache = ResultCache(tmp_path)
+        (miss,) = run_experiments(["fig14"], scale=0.3, cache=cache)
+        (hit,) = run_experiments(["fig14"], scale=0.3, cache=cache)
+        assert not miss.cached and hit.cached
+        assert hit.result.identical(miss.result)
+        for a, b in zip(hit.result.series, miss.result.series):
+            assert a.ys.tobytes() == b.ys.tobytes()
+
+    def test_key_inputs_partition_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiments(["fig14"], scale=0.3, seed=0, cache=cache)
+        (other_seed,) = run_experiments(["fig14"], scale=0.3, seed=1,
+                                        cache=cache)
+        (other_scale,) = run_experiments(["fig14"], scale=0.4, seed=0,
+                                         cache=cache)
+        assert not other_seed.cached and not other_scale.cached
+
+    def test_force_recomputes_and_restores(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiments(["fig14"], scale=0.3, cache=cache)
+        (out,) = run_experiments(["fig14"], scale=0.3, cache=cache,
+                                 force=True)
+        assert not out.cached
+        assert cache.stats.stores == 2
+
+
+class TestParallelExecution:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        par = run_experiments(BATCH, scale=0.3, jobs=4, cache=None)
+        ser = run_experiments(BATCH, scale=0.3, jobs=1, cache=None)
+        assert [o.id for o in par] == BATCH
+        for a, b in zip(par, ser):
+            assert a.result.identical(b.result), a.id
+
+    def test_parallel_results_land_in_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiments(BATCH, scale=0.3, jobs=4, cache=cache)
+        assert cache.stats.misses == len(BATCH)
+        warm = ResultCache(tmp_path)
+        outs = run_experiments(BATCH, scale=0.3, jobs=4, cache=warm)
+        assert all(o.cached for o in outs)
+        assert warm.stats.hits == len(BATCH)
+
+
+class TestCacheSpeedup:
+    def test_warm_batch_at_least_5x_faster(self, tmp_path):
+        """Acceptance: a second invocation is served >=5x faster, and the
+        cache-stats output proves it came from the cache."""
+        cache = ResultCache(tmp_path)
+        t0 = time.perf_counter()
+        cold = run_experiments(BATCH, scale=0.3, cache=cache)
+        cold_s = time.perf_counter() - t0
+        assert cache.stats.summary() == "0 hit(s), 4 miss(es)"
+
+        warm_cache = ResultCache(tmp_path)
+        t0 = time.perf_counter()
+        warm = run_experiments(BATCH, scale=0.3, cache=warm_cache)
+        warm_s = time.perf_counter() - t0
+        assert warm_cache.stats.summary() == "4 hit(s), 0 miss(es)"
+        assert all(o.cached for o in warm)
+        for a, b in zip(cold, warm):
+            assert a.result.identical(b.result), a.id
+        assert cold_s >= 5 * warm_s, (
+            f"cold {cold_s:.3f}s vs warm {warm_s:.3f}s")

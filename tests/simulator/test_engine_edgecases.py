@@ -1,0 +1,116 @@
+"""Edge-case tests for :func:`repro.simulator.engine.run_spmd`:
+degenerate machine sizes, runaway programs and blocked receives."""
+
+import pytest
+
+from repro.core.errors import DeadlockError, MailboxError, SimulationError
+from repro.machines import CM5, GCel
+from repro.simulator.engine import run_spmd
+
+
+class TestSingleProcessor:
+    def test_p1_program_runs_to_completion(self):
+        def prog(ctx):
+            ctx.charge_flops(10)
+            ctx.put(0, 42, nbytes=4)  # self-message: still legal
+            yield ctx.sync()
+            return ctx.get()
+
+        res = run_spmd(CM5(seed=0), prog, P=1)
+        assert res.returns == [42]
+        assert res.clocks.shape == (1,)
+        assert res.time_us > 0
+
+    def test_p1_machine(self):
+        def prog(ctx):
+            assert ctx.P == 1 and ctx.rank == 0
+            yield ctx.sync()
+
+        res = run_spmd(GCel(P=1, seed=0), prog)
+        assert len(res.trace) >= 0  # ran without error
+
+
+class TestRunawayPrograms:
+    def test_never_terminating_program_hits_max_supersteps(self):
+        def prog(ctx):
+            while True:  # syncs forever, never returns
+                yield ctx.sync()
+
+        with pytest.raises(DeadlockError, match="supersteps"):
+            run_spmd(CM5(seed=0), prog, P=2, max_supersteps=7)
+
+    def test_terminating_program_within_bound(self):
+        def prog(ctx):
+            for _ in range(5):
+                ctx.charge_flops(1)
+                yield ctx.sync()
+
+        # the engine needs two iterations past the last sync (observe the
+        # returns, then notice nobody is alive)
+        res = run_spmd(CM5(seed=0), prog, P=2, max_supersteps=7)
+        assert len(res.trace) == 5
+        with pytest.raises(DeadlockError):
+            run_spmd(CM5(seed=0), prog, P=2, max_supersteps=4)
+
+
+class TestDeadlockedReceive:
+    def test_receive_without_sender_is_a_deadlock(self):
+        def prog(ctx):
+            yield ctx.sync()
+            if ctx.rank == 0:
+                ctx.get(src=1, tag="data")  # proc 1 never sends
+            yield ctx.sync()
+
+        with pytest.raises(DeadlockError):
+            run_spmd(CM5(seed=0), prog, P=2)
+
+    def test_mailbox_error_is_a_deadlock_error(self):
+        # a blocked receive means this processor would wait forever
+        assert issubclass(MailboxError, DeadlockError)
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_receive_of_later_superstep_message_deadlocks(self):
+        def prog(ctx):
+            # the payload is only delivered at the *next* sync, so an
+            # immediate get deadlocks
+            ctx.put((ctx.rank + 1) % ctx.P, ctx.rank, nbytes=4)
+            ctx.get()
+            yield ctx.sync()
+
+        with pytest.raises(DeadlockError):
+            run_spmd(CM5(seed=0), prog, P=4)
+
+
+class TestPartitionSizes:
+    def test_p_not_dividing_machine_size(self):
+        """P = 48 virtual procs on a 64-node machine: legal subset."""
+        def prog(ctx):
+            ctx.put((ctx.rank + 1) % ctx.P, ctx.rank, nbytes=4)
+            yield ctx.sync()
+            return ctx.get()
+
+        res = run_spmd(CM5(seed=0), prog, P=48)
+        assert res.returns == [(r - 1) % 48 for r in range(48)]
+
+    def test_prime_partition(self):
+        def prog(ctx):
+            ctx.charge_flops(ctx.rank)
+            yield ctx.sync()
+
+        res = run_spmd(GCel(seed=0), prog, P=7)
+        assert res.clocks.shape == (7,)
+
+    def test_oversized_partition_rejected(self):
+        def prog(ctx):
+            yield ctx.sync()
+
+        with pytest.raises(SimulationError, match="P=100"):
+            run_spmd(CM5(seed=0), prog, P=100)
+
+    def test_zero_and_negative_p_rejected(self):
+        def prog(ctx):
+            yield ctx.sync()
+
+        for bad in (0, -4):
+            with pytest.raises(SimulationError):
+                run_spmd(CM5(seed=0), prog, P=bad)

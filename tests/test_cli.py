@@ -44,9 +44,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "x:" in out  # plot footer
 
-    def test_run_unknown_experiment(self):
-        with pytest.raises(Exception, match="unknown experiment"):
-            main(["run", "fig99"])
+    def test_run_unknown_experiment(self, capsys):
+        code = main(["run", "fig99"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        # the error names every valid id instead of dumping a traceback
+        assert "fig14" in err and "table1" in err and "abl-sync" in err
+
+    def test_run_without_ids(self, capsys):
+        code = main(["run"])
+        assert code == 2
+        assert "no experiment ids" in capsys.readouterr().err
+
+    def test_run_reports_cache_outcomes(self, capsys):
+        main(["run", "fig14", "--scale", "0.3", "--no-plot"])
+        assert "cache: 0 hit(s), 1 miss(es)" in capsys.readouterr().out
+        code = main(["run", "fig14", "--scale", "0.3", "--no-plot"])
+        assert code == 0
+        assert "cache: 1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_run_no_cache_flag(self, capsys):
+        main(["run", "fig14", "--scale", "0.3", "--no-plot", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+        # nothing was stored either
+        main(["cache", "info"])
+        assert "0 cached result(s)" in capsys.readouterr().out
+
+    def test_cache_info_and_clear(self, capsys):
+        main(["run", "fig14", "--scale", "0.3", "--no-plot"])
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached result(s)" in out and "fig14" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cached result(s)" in capsys.readouterr().out
+        main(["cache", "info"])
+        assert "0 cached result(s)" in capsys.readouterr().out
 
     def test_table1_command(self, capsys):
         assert main(["table1", "--trials", "4", "--seed", "1"]) == 0

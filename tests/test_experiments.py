@@ -46,6 +46,22 @@ class TestRegistry:
         assert "shortest path" in exp.title.lower()
         assert "Fig. 12" in exp.paper_ref
 
+    def test_every_experiment_declares_machines(self):
+        valid = {"maspar", "gcel", "cm5", "t800"}
+        for exp in all_experiments().values():
+            assert exp.machines, f"{exp.id} declares no machines"
+            assert set(exp.machines) <= valid, exp.id
+
+    def test_cache_inputs_shape(self):
+        inputs = get("table1").cache_inputs()
+        assert inputs == {"machines": ["maspar", "gcel", "cm5"], "rev": 1}
+
+    def test_register_rejects_unknown_machine(self):
+        from repro.experiments.base import register
+
+        with pytest.raises(ExperimentError, match="unknown machine"):
+            register("bogus", "t", "ref", machines=("cray",))
+
 
 class TestScaledSizes:
     def test_identity_at_full_scale(self):
