@@ -32,11 +32,12 @@ import numpy as np
 
 from ..core.errors import ExperimentError
 from ..machines.base import Machine
-from ..simulator import RunResult, run_spmd
+from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.vector import VectorContext, resolve_engine
 
-__all__ = ["run", "apsp_program", "assemble", "random_digraph",
-           "reference_apsp", "INF"]
+__all__ = ["run", "apsp_program", "apsp_vector_program", "assemble",
+           "random_digraph", "reference_apsp", "INF"]
 
 #: "infinite" distance; finite so min-plus arithmetic stays exact.
 INF = np.float64(1e30)
@@ -192,17 +193,121 @@ def apsp_program(ctx: ProcContext, D: np.ndarray):
     return block
 
 
+def _emit_broadcast_vector(ctx: VectorContext, line: np.ndarray, addr_v,
+                           owner_line: int, side: int, M: int, tag: str):
+    """Vector twin of :func:`_broadcast_line`: emit its message groups.
+
+    ``line`` is every rank's line coordinate, ``addr_v(ll)`` maps
+    per-rank target line coordinates (array or scalar) to ranks.  Emits
+    the identical superstep sequence — same counts, sizes, steps and
+    labels — but no payloads: vector programs move the data themselves.
+    Generator — ``yield from`` it.
+    """
+    w = ctx.word_bytes
+    ranks_all = ctx.ranks()
+    owner_mask = line == owner_line
+    owners = ranks_all[owner_mask]
+
+    if M >= side:
+        bounds = _segment_bounds(side, M)
+        widths = np.array([hi - lo for lo, hi in bounds])
+        # superstep 1: owners scatter subsegments over their line
+        for s in range(1, side):
+            ll = (owner_line + s) % side
+            n = int(widths[ll])
+            ctx.put_group(owners, addr_v(ll)[owner_mask],
+                          nbytes=n * w, count=n, step=s)
+        yield ctx.sync(f"{tag}-scatter")
+        # superstep 2: everyone allgathers its subsegment along the line
+        mine_n = widths[line]
+        for s in range(1, side):
+            ll = (line + s) % side
+            ctx.put_group(ranks_all, addr_v(ll), nbytes=mine_n * w,
+                          count=mine_n, step=s)
+        yield ctx.sync(f"{tag}-allgather")
+        return
+
+    # ---- M < sqrt(P): element-wise scatter, doubling, block allgather ----
+    doublings = int(round(math.log2(side / M)))
+    if (M << doublings) != side:
+        raise ExperimentError(
+            f"M={M} must divide sqrt(P)={side} by a power of two")
+    for s in range(1, side):
+        ll = (owner_line + s) % side
+        if ll < M:
+            ctx.put_group(owners, addr_v(ll)[owner_mask],
+                          nbytes=w, count=1, step=s)
+    yield ctx.sync(f"{tag}-scatter")
+    holders = M
+    for t in range(doublings):
+        senders = line < holders
+        ctx.put_group(ranks_all[senders], addr_v(line + holders)[senders],
+                      nbytes=w, count=1, step=0)
+        yield ctx.sync(f"{tag}-double-{t}")
+        holders *= 2
+    block_base = line - (line % M)
+    for s in range(1, M):
+        ll = block_base + (line - block_base + s) % M
+        ctx.put_group(ranks_all, addr_v(ll), nbytes=w, count=1, step=s)
+    yield ctx.sync(f"{tag}-allgather")
+
+
+def apsp_vector_program(ctx: VectorContext, D: np.ndarray):
+    """Lockstep vector port of :func:`apsp_program` (all ranks at once).
+
+    Blocks live in one ``(P, M, M)`` stack; each ``k`` iteration emits
+    the two broadcasts' message groups and relaxes every block with one
+    elementwise ``np.minimum`` — bit-identical supersteps and results.
+    """
+    P = ctx.P
+    N = D.shape[0]
+    side = math.isqrt(P)
+    if side * side != P:
+        raise ExperimentError(f"APSP needs a square grid, got P={P}")
+    if N % side:
+        raise ExperimentError(f"APSP needs sqrt(P) | N (N={N}, sqrt(P)={side})")
+    M = N // side
+    ranks_all = ctx.ranks()
+    r_arr, c_arr = np.divmod(ranks_all, side)
+    lines = np.arange(side, dtype=np.int64)
+    # blocks[rank] == D[r*M:(r+1)*M, c*M:(c+1)*M]
+    blocks = np.ascontiguousarray(
+        D.reshape(side, M, side, M).transpose(0, 2, 1, 3).reshape(P, M, M))
+
+    for k in range(N):
+        kb, ki = divmod(k, M)
+
+        # active column D[*, k]: owners <*, kb>, broadcast along rows
+        yield from _emit_broadcast_vector(
+            ctx, c_arr, lambda ll: r_arr * side + ll, kb, side, M, f"c{k}")
+        X = blocks[lines * side + kb, :, ki][r_arr]  # (P, M)
+
+        # active row D[k, *]: owners <kb, *>, broadcast along columns
+        yield from _emit_broadcast_vector(
+            ctx, r_arr, lambda ll: ll * side + c_arr, kb, side, M, f"r{k}")
+        Y = blocks[kb * side + lines, ki, :][c_arr]  # (P, M)
+
+        np.minimum(blocks, X[:, :, None] + Y[:, None, :], out=blocks)
+        ctx.charge_flops(ranks_all, M * M)
+
+    return [blocks[p] for p in range(P)]
+
+
 def run(machine: Machine, N: int, *, P: int | None = None, seed: int = 0,
-        density: float = 0.3) -> RunResult:
+        density: float = 0.3, engine: str = "auto") -> RunResult:
     """Solve APSP for a random digraph of ``N`` vertices on ``machine``."""
     P = P or machine.P
     rng = np.random.default_rng(seed)
     D = random_digraph(N, density, rng)
 
-    def program(ctx: ProcContext):
-        return apsp_program(ctx, D)
+    if resolve_engine(engine) == "vector":
+        result = run_spmd_vector(machine, apsp_vector_program, D, P=P,
+                                 label=f"apsp-N{N}")
+    else:
+        def program(ctx: ProcContext):
+            return apsp_program(ctx, D)
 
-    result = run_spmd(machine, program, P=P, label=f"apsp-N{N}")
+        result = run_spmd(machine, program, P=P, label=f"apsp-N{N}")
     result.inputs = D  # type: ignore[attr-defined]
     return result
 

@@ -31,11 +31,12 @@ import numpy as np
 
 from ..core.errors import ExperimentError
 from ..machines.base import Machine
-from ..simulator import RunResult, run_spmd
+from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.vector import VectorContext, resolve_engine
 from .local import merge_keep, radix_sort
 
-__all__ = ["run", "bitonic_program", "VARIANTS"]
+__all__ = ["run", "bitonic_program", "bitonic_vector_program", "VARIANTS"]
 
 VARIANTS = ("bsp", "bsp-nosync", "bsp-sync", "bpram")
 
@@ -112,21 +113,115 @@ def bitonic_program(ctx: ProcContext, keys: np.ndarray, variant: str,
     return mine
 
 
+def _radix_sort_rows(ctx: VectorContext, keys: np.ndarray, *,
+                     bits: int = 32, radix_bits: int = 8) -> np.ndarray:
+    """All-ranks twin of :func:`repro.algorithms.local.radix_sort`.
+
+    A stable per-digit argsort along axis 1 sorts every rank's row with
+    the identical pass structure (and identical results) as the per-rank
+    counting sort, in one call per digit.
+    """
+    ctx.charge_sort(ctx.ranks(), keys.shape[1], bits=bits,
+                    radix_bits=radix_bits)
+    out = keys.copy()
+    mask = (1 << radix_bits) - 1
+    for shift in range(0, bits, radix_bits):
+        digits = (out >> shift) & mask
+        order = np.argsort(digits, axis=1, kind="stable")
+        out = np.take_along_axis(out, order, axis=1)
+    return out
+
+
+def _merge_keep_rows(ctx: VectorContext, mine: np.ndarray,
+                     theirs: np.ndarray,
+                     keep_min: np.ndarray) -> np.ndarray:
+    """All-ranks twin of :func:`repro.algorithms.local.merge_keep`."""
+    M = mine.shape[1]
+    ctx.charge_merge(ctx.ranks(), M)
+    both = np.concatenate([mine, theirs], axis=1)
+    both.sort(axis=1, kind="stable")
+    return np.where(keep_min[:, None], both[:, :M], both[:, M:])
+
+
+def bitonic_vector_program(ctx: VectorContext, all_keys: np.ndarray,
+                           variant: str, sync_every: int = 256,
+                           key_bits: int = 32, group_words: int = 1):
+    """Lockstep vector port of :func:`bitonic_program` (all ranks at once).
+
+    Keys live in one ``(P, M)`` stack; every merge step is one message
+    group (the cube permutation ``rank ^ bit``) plus one axis-1 sort —
+    bit-identical supersteps and results.
+    """
+    if variant not in VARIANTS:
+        raise ExperimentError(f"unknown bitonic variant {variant!r}")
+    if group_words < 1:
+        raise ExperimentError("group_words must be >= 1")
+    P = ctx.P
+    log_p = _ilog2(P)
+    M = all_keys.shape[1]
+    w = ctx.word_bytes
+    ranks = ctx.ranks()
+
+    mine = _radix_sort_rows(ctx, all_keys, bits=key_bits)
+
+    for d in range(1, log_p + 1):
+        for j in range(d - 1, -1, -1):
+            bit = 1 << j
+            partner = ranks ^ bit
+            if d < log_p:
+                ascending = (ranks >> d) & 1 == 0
+            else:
+                ascending = np.ones(P, dtype=bool)
+            keep_min = (ranks < partner) == ascending
+
+            if variant == "bpram":
+                ctx.put_group(ranks, partner, nbytes=M * w, count=1)
+                yield ctx.sync(f"merge-{d}.{j}", barrier=False)
+            elif variant == "bsp":
+                ctx.put_group(ranks, partner, nbytes=M * w,
+                              count=max(1, -(-M // group_words)))
+                yield ctx.sync(f"merge-{d}.{j}")
+            elif variant == "bsp-nosync":
+                ctx.put_group(ranks, partner, nbytes=M * w,
+                              count=max(1, -(-M // group_words)))
+                yield ctx.sync(f"merge-{d}.{j}", barrier=False)
+            else:  # bsp-sync: barrier after every `sync_every` messages
+                sent = 0
+                chunk_no = 0
+                while sent < M:
+                    n = min(sync_every, M - sent)
+                    ctx.put_group(ranks, partner, nbytes=n * w, count=n)
+                    sent += n
+                    chunk_no += 1
+                    yield ctx.sync(f"merge-{d}.{j}.{chunk_no}")
+
+            theirs = mine[partner]
+            mine = _merge_keep_rows(ctx, mine, theirs, keep_min)
+    return [mine[p] for p in range(P)]
+
+
 def run(machine: Machine, M: int, *, variant: str = "bsp",
         P: int | None = None, seed: int = 0, sync_every: int = 256,
-        key_bits: int = 32, group_words: int = 1) -> RunResult:
+        key_bits: int = 32, group_words: int = 1,
+        engine: str = "auto") -> RunResult:
     """Sort ``P * M`` random keys on ``machine``; ``M`` keys per processor."""
     P = P or machine.P
     rng = np.random.default_rng(seed)
     all_keys = rng.integers(0, 1 << key_bits, size=(P, M), dtype=np.uint64)
 
-    def program(ctx: ProcContext):
-        return bitonic_program(ctx, all_keys[ctx.rank], variant,
-                               sync_every=sync_every, key_bits=key_bits,
-                               group_words=group_words)
+    if resolve_engine(engine) == "vector":
+        result = run_spmd_vector(machine, bitonic_vector_program, all_keys,
+                                 variant, sync_every=sync_every,
+                                 key_bits=key_bits, group_words=group_words,
+                                 P=P, label=f"bitonic-{variant}-M{M}")
+    else:
+        def program(ctx: ProcContext):
+            return bitonic_program(ctx, all_keys[ctx.rank], variant,
+                                   sync_every=sync_every, key_bits=key_bits,
+                                   group_words=group_words)
 
-    result = run_spmd(machine, program, P=P,
-                      label=f"bitonic-{variant}-M{M}")
+        result = run_spmd(machine, program, P=P,
+                          label=f"bitonic-{variant}-M{M}")
     result.inputs = all_keys  # type: ignore[attr-defined]
     return result
 

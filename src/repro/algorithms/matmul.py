@@ -36,11 +36,13 @@ import numpy as np
 from ..core.errors import ExperimentError
 from ..core.predictions import cube_root_procs
 from ..machines.base import Machine
-from ..simulator import RunResult, run_spmd
+from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.vector import VectorContext, resolve_engine
 from .local import local_matmul
 
-__all__ = ["run", "matmul_program", "MatmulSetup", "VARIANTS"]
+__all__ = ["run", "matmul_program", "matmul_vector_program", "MatmulSetup",
+           "VARIANTS"]
 
 VARIANTS = ("bsp", "bsp-staggered", "bpram")
 
@@ -232,8 +234,80 @@ def matmul_program(ctx: ProcContext, setup: MatmulSetup, A: np.ndarray,
     return total
 
 
+def matmul_vector_program(ctx: VectorContext, setup: MatmulSetup,
+                          A: np.ndarray, B: np.ndarray, variant: str):
+    """Lockstep vector port of :func:`matmul_program` (3D-native layouts).
+
+    One message group per replicate/exchange step (with MIMD self-sends
+    masked out, as the per-rank program elides them); the local products
+    run per rank on contiguous blocks so the floating-point results stay
+    bit-identical to the per-rank path.  The row-strip
+    :data:`LAYOUT_VARIANTS` are not ported — use the generator engine.
+    """
+    if variant not in VARIANTS:
+        raise ExperimentError(
+            f"vector matmul supports {VARIANTS}, got {variant!r}")
+    fine = variant != "bpram"
+    staggered = variant != "bsp"
+    q, sub, rows = setup.q, setup.sub, setup.rows
+    w = ctx.word_bytes
+    P = ctx.P
+    ranks = ctx.ranks()
+    i_arr = ranks // (q * q)
+    j_arr = (ranks // q) % q
+    k_arr = ranks % q
+
+    blk_words = rows * sub
+    count = blk_words if fine else 1
+
+    def rank_of(i, j, k):
+        return (i * q + j) * q + k
+
+    def emit(dst: np.ndarray, step: int) -> None:
+        if ctx.simd:
+            ctx.put_group(ranks, dst, nbytes=blk_words * w, count=count,
+                          step=step)
+        else:  # MIMD: own block stays local, exactly like send_block
+            m = dst != ranks
+            ctx.put_group(ranks[m], dst[m], nbytes=blk_words * w,
+                          count=count, step=step)
+
+    # ---- superstep 1: replicate A along k, B along i ----
+    for s in range(q):
+        m = (k_arr + s) % q if staggered else np.full(P, s, dtype=np.int64)
+        emit(rank_of(i_arr, j_arr, m), s)
+        emit(rank_of(m, i_arr, j_arr), s)
+    yield ctx.sync("replicate", stagger=staggered)
+
+    # every rank now holds A_ij and B_jk — contiguous copies so the
+    # per-rank GEMMs see the same operands as the vstack'ed per-rank path
+    ctx.charge_matmul(ranks, sub, sub, sub)
+    Chat = np.empty((P, sub, sub))
+    for p in range(P):
+        i, j, k = int(i_arr[p]), int(j_arr[p]), int(k_arr[p])
+        A_ij = A[i * sub:(i + 1) * sub, j * sub:(j + 1) * sub].copy()
+        B_jk = B[j * sub:(j + 1) * sub, k * sub:(k + 1) * sub].copy()
+        Chat[p] = A_ij @ B_jk
+
+    # ---- superstep 2: exchange partial result blocks ----
+    for s in range(q):
+        l = (j_arr + s) % q if staggered else np.full(P, s, dtype=np.int64)
+        emit(rank_of(i_arr, k_arr, l), s)
+    yield ctx.sync("exchange-partials", stagger=staggered)
+
+    # ---- sum the q partial blocks (jj ascending, like the per-rank sum)
+    Chat4 = Chat.reshape(P, q, rows, sub)
+    total = np.zeros((P, rows, sub))
+    for jj in range(q):
+        senders = rank_of(i_arr, jj, j_arr)
+        total += Chat4[senders, k_arr]
+    ctx.charge_copy(ranks, (q - 1) * rows * sub)
+    return [total[p] for p in range(P)]
+
+
 def run(machine: Machine, N: int, *, variant: str = "bsp-staggered",
-        P: int | None = None, seed: int = 0) -> RunResult:
+        P: int | None = None, seed: int = 0,
+        engine: str = "auto") -> RunResult:
     """Multiply two random ``N x N`` matrices on ``machine``.
 
     ``variant`` is one of :data:`VARIANTS` (3D-native initial layout) or
@@ -247,8 +321,12 @@ def run(machine: Machine, N: int, *, variant: str = "bsp-staggered",
     rng = np.random.default_rng(seed)
     A = rng.standard_normal((N, N))
     B = rng.standard_normal((N, N))
-    result = run_spmd(machine, matmul_program, setup, A, B, variant,
-                      P=P, label=f"matmul-{variant}-N{N}")
+    if resolve_engine(engine, vector_ok=variant in VARIANTS) == "vector":
+        result = run_spmd_vector(machine, matmul_vector_program, setup, A, B,
+                                 variant, P=P, label=f"matmul-{variant}-N{N}")
+    else:
+        result = run_spmd(machine, matmul_program, setup, A, B, variant,
+                          P=P, label=f"matmul-{variant}-N{N}")
     result.inputs = (A, B)  # type: ignore[attr-defined]
     result.setup = setup  # type: ignore[attr-defined]
     return result

@@ -52,9 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=1.0,
                      help="problem-size scale in (0, 1] (default 1.0)")
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--jobs", type=int, default=1, metavar="N",
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="worker processes for uncached experiments "
-                          "(default 1: run in-process)")
+                          "(default: os.cpu_count())")
     run.add_argument("--no-cache", action="store_true",
                      help="neither read nor write the result cache")
     run.add_argument("--force", action="store_true",
@@ -67,6 +67,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="omit the ASCII plot")
     run.add_argument("--json", metavar="FILE", default=None,
                      help="also dump all results as JSON to FILE")
+    run.add_argument("--profile", action="store_true",
+                     help="run in-process under cProfile and dump one "
+                          "pstats file per experiment under "
+                          "<cache-dir>/profiles (implies --no-cache, "
+                          "--jobs 1)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="cold-run experiments, record wall times to a trajectory file")
+    bench.add_argument("ids", nargs="*",
+                       help="experiment ids (default: the whole registry)")
+    bench.add_argument("--quick", action="store_true",
+                       help="representative subset for CI smoke runs")
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_sweep.json", metavar="FILE",
+                       help="trajectory file to append to "
+                            "(default BENCH_sweep.json)")
+    bench.add_argument("--label", default="", metavar="TEXT",
+                       help="free-form tag stored with this bench record")
+    bench.add_argument("--top", type=int, default=5, metavar="N",
+                       help="rows in the slowest-experiments table")
+    bench.add_argument("--budget", action="append", default=[],
+                       metavar="ID=SECONDS",
+                       help="fail (exit 3) if experiment ID exceeds its "
+                            "budget; repeatable")
+    bench.add_argument("--profile", action="store_true",
+                       help="also dump cProfile pstats per experiment "
+                            "under <cache-dir>/profiles")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="only used to locate the profiles directory")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -109,9 +140,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
-             json_path: str | None = None, *, jobs: int = 1,
+             json_path: str | None = None, *, jobs: int | None = None,
              use_cache: bool = True, force: bool = False,
-             cache_dir: str | None = None) -> int:
+             cache_dir: str | None = None, profile: bool = False,
+             timing_summary: bool = False) -> int:
     from .core.errors import ExperimentError
     from .runner import ResultCache, run_experiments
 
@@ -119,10 +151,16 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
         print("error: no experiment ids given (or use --all)",
               file=sys.stderr)
         return 2
-    cache = ResultCache(cache_dir) if use_cache else None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    cache = ResultCache(cache_dir) if use_cache and not profile else None
     try:
-        outcomes = run_experiments(ids, scale=scale, seed=seed, jobs=jobs,
-                                   cache=cache, force=force)
+        if profile:
+            outcomes = _run_profiled(ids, scale=scale, seed=seed,
+                                     cache_dir=cache_dir)
+        else:
+            outcomes = run_experiments(ids, scale=scale, seed=seed,
+                                       jobs=jobs, cache=cache, force=force)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -136,6 +174,8 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
             failed += 1
     if cache is not None:
         print(f"cache: {cache.stats.summary()} — {cache.root}")
+    if timing_summary and outcomes:
+        print(_timing_summary(outcomes))
     if json_path:
         import json
 
@@ -146,6 +186,73 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
     if failed:
         print(f"{failed} experiment(s) had failing checks", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _timing_summary(outcomes, top: int = 5) -> str:
+    """Top-``top`` slowest experiments of a batch, one line each."""
+    ranked = sorted(outcomes, key=lambda o: -o.elapsed_s)[:top]
+    total = sum(o.elapsed_s for o in outcomes) or 1.0
+    lines = [f"timing: {len(outcomes)} experiment(s) in "
+             f"{sum(o.elapsed_s for o in outcomes):.1f}s; slowest:"]
+    for out in ranked:
+        src = "cache" if out.cached else "fresh"
+        lines.append(f"  {out.id:<16} {out.elapsed_s:>8.2f}s  "
+                     f"{out.elapsed_s / total:>5.1%}  ({src})")
+    return "\n".join(lines)
+
+
+def _run_profiled(ids: list[str], *, scale: float, seed: int,
+                  cache_dir: str | None):
+    """``repro run --profile``: in-process, cProfile dump per experiment."""
+    import time
+
+    from .runner import (RunOutcome, default_cache_root, profiled_run,
+                         resolve_ids)
+
+    profile_dir = os.path.join(str(cache_dir or default_cache_root()),
+                               "profiles")
+    outcomes = []
+    for exp_id in resolve_ids(ids):
+        t0 = time.perf_counter()
+        result, path = profiled_run(exp_id, scale=scale, seed=seed,
+                                    profile_dir=profile_dir)
+        outcomes.append(RunOutcome(id=exp_id, result=result, cached=False,
+                                   elapsed_s=time.perf_counter() - t0))
+        print(f"profile: {path}", file=sys.stderr)
+    return outcomes
+
+
+def _cmd_bench(ids: list[str], *, quick: bool, scale: float, seed: int,
+               out: str, label: str, top: int, budgets: list[str],
+               profile: bool, cache_dir: str | None) -> int:
+    from .core.errors import ExperimentError
+    from .runner import (append_trajectory, check_budgets, default_cache_root,
+                         parse_budgets, render_bench, run_bench, QUICK_IDS)
+
+    try:
+        budget_map = parse_budgets(budgets)
+        if quick and ids:
+            raise ExperimentError("give either --quick or explicit ids")
+        bench_ids = QUICK_IDS if quick else (ids or ["all"])
+        profile_dir = None
+        if profile:
+            root = cache_dir or default_cache_root()
+            profile_dir = os.path.join(str(root), "profiles")
+        record = run_bench(bench_ids, scale=scale, seed=seed, label=label,
+                           profile_dir=profile_dir,
+                           progress=lambda msg: print(msg, file=sys.stderr))
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = append_trajectory(record, out)
+    print(render_bench(record, top=top))
+    print(f"wrote {path}")
+    problems = check_budgets(record, budget_map)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if record.errors:
+        return 1
+    return 3 if problems else 0
 
 
 def _cmd_cache(action: str, cache_dir: str | None) -> int:
@@ -267,7 +374,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_run(ids, args.scale, args.seed, not args.no_plot,
                         args.json, jobs=args.jobs,
                         use_cache=not args.no_cache, force=args.force,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir, profile=args.profile,
+                        timing_summary=args.run_all)
+    if args.command == "bench":
+        return _cmd_bench(args.ids, quick=args.quick, scale=args.scale,
+                          seed=args.seed, out=args.out, label=args.label,
+                          top=args.top, budgets=args.budget,
+                          profile=args.profile, cache_dir=args.cache_dir)
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir)
     if args.command == "table1":

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .errors import ModelError
 from .params import ModelParams
 
@@ -32,7 +34,10 @@ __all__ = [
     "Compare",
     "Copy",
     "Generic",
+    "WORK_FIELDS",
     "nominal_time",
+    "nominal_time_batch",
+    "work_fields",
 ]
 
 
@@ -174,3 +179,61 @@ def nominal_time(work: Work, params: ModelParams) -> float:
     if isinstance(work, Generic):
         return work.us
     raise ModelError(f"cannot price work descriptor of type {type(work).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Batched (vectorised) pricing
+# ----------------------------------------------------------------------
+
+#: parameter fields of each built-in work kind, in declaration order.
+#: The batched engine packs homogeneous items into one array per field.
+WORK_FIELDS: dict[type, tuple[str, ...]] = {
+    Flops: ("n",),
+    MatmulBlock: ("m", "k", "n"),
+    RadixSort: ("n", "bits", "radix_bits"),
+    Merge: ("n",),
+    Compare: ("n",),
+    Copy: ("n",),
+    Generic: ("us",),
+}
+
+
+def work_fields(kind: type) -> tuple[str, ...]:
+    """Parameter field names of a work kind (:data:`WORK_FIELDS` entry)."""
+    try:
+        return WORK_FIELDS[kind]
+    except KeyError:
+        raise ModelError(
+            f"no field spec for work kind {kind.__name__}; add it to "
+            "WORK_FIELDS to enable batched pricing") from None
+
+
+def nominal_time_batch(kind: type, params: dict[str, np.ndarray],
+                       mp: ModelParams) -> np.ndarray | None:
+    """Vectorised :func:`nominal_time` over a batch of same-kind items.
+
+    ``params`` maps field names (see :data:`WORK_FIELDS`) to equal-length
+    arrays.  Returns per-item microseconds, elementwise bit-identical to
+    the scalar function (same operations in the same order), or ``None``
+    for kinds this function does not know — callers then fall back to
+    per-item scalar pricing.
+    """
+    if kind is Flops:
+        return mp.alpha * np.asarray(params["n"])
+    if kind is MatmulBlock:
+        flops = (np.asarray(params["m"]) * np.asarray(params["k"])
+                 * np.asarray(params["n"]))
+        return mp.alpha * flops
+    if kind is RadixSort:
+        bits = np.asarray(params["bits"])
+        radix_bits = np.asarray(params["radix_bits"])
+        passes = -(-bits // radix_bits)
+        return passes * (mp.sort_beta * (1 << radix_bits)
+                         + mp.sort_gamma * np.asarray(params["n"]))
+    if kind is Merge or kind is Compare:
+        return mp.merge_alpha * np.asarray(params["n"])
+    if kind is Copy:
+        return mp.beta_copy * np.asarray(params["n"])
+    if kind is Generic:
+        return np.asarray(params["us"], dtype=np.float64)
+    return None

@@ -21,7 +21,7 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.params import ModelParams
 from ..core.relations import CommPhase
-from ..core.work import Work, nominal_time
+from ..core.work import Work, nominal_time, nominal_time_batch
 
 __all__ = ["Machine"]
 
@@ -33,6 +33,9 @@ class Machine(ABC):
     name: str = "abstract"
     #: lockstep SIMD machine (single instruction stream, no drift).
     simd: bool = False
+    #: relative noise of one local-computation timing; 0 = deterministic
+    #: compute (lockstep SIMD).  MIMD machines set this in ``__init__``.
+    compute_noise: float = 0.0
 
     def __init__(self, nominal: ModelParams, *, seed: int = 0):
         self.nominal = nominal
@@ -42,13 +45,35 @@ class Machine(ABC):
     # ------------------------------------------------------------------
     # Local computation
     # ------------------------------------------------------------------
-    def compute_time(self, work: Work, rank: int) -> float:
-        """Time one processor needs for ``work``, in microseconds.
+    def compute_time_base(self, work: Work, rank: int) -> float:
+        """Deterministic time one processor needs for ``work``, in us.
 
         The default prices work with the nominal model coefficients;
-        machines override this to model cache effects etc.
+        machines override this to model cache effects etc.  Measurement
+        noise is *not* applied here — :meth:`compute_time` multiplies in
+        one jitter factor per item, and the batched path draws the same
+        factors as one vector (bit-identical stream).
         """
         return nominal_time(work, self.nominal)
+
+    def compute_time(self, work: Work, rank: int) -> float:
+        """Time one processor needs for ``work``, in microseconds."""
+        t = self.compute_time_base(work, rank)
+        if self.compute_noise:
+            t *= self.jitter(self.compute_noise)
+        return t
+
+    def compute_time_batch(self, kind: type, params: dict, ranks) -> "np.ndarray | None":
+        """Deterministic prices of a batch of same-kind work items.
+
+        ``params`` maps the kind's field names to equal-length arrays (one
+        entry per item); ``ranks`` is the owning processor of each item.
+        Returns per-item microseconds matching
+        :meth:`compute_time_base` bit-for-bit, or ``None`` when the kind
+        needs per-item (scalar) pricing.  Jitter is applied by the engine
+        (in flat item order), never here.
+        """
+        return nominal_time_batch(kind, params, self.nominal)
 
     # ------------------------------------------------------------------
     # Communication

@@ -93,12 +93,28 @@ class CM5(Machine):
             return 6.2
         return 5.2
 
-    def compute_time(self, work: Work, rank: int) -> float:
+    def compute_time_base(self, work: Work, rank: int) -> float:
         if isinstance(work, MatmulBlock):
             # time per compound op = 2 flops / rate
             alpha_eff = 2.0 / self.matmul_mflops(work)
-            return alpha_eff * work.flops * self.jitter(self.compute_noise)
-        return nominal_time(work, self.nominal) * self.jitter(self.compute_noise)
+            return alpha_eff * work.flops
+        return nominal_time(work, self.nominal)
+
+    def compute_time_batch(self, kind: type, params: dict, ranks) -> np.ndarray | None:
+        if kind is MatmulBlock:
+            m = np.asarray(params["m"], dtype=np.int64)
+            k = np.asarray(params["k"], dtype=np.int64)
+            n = np.asarray(params["n"], dtype=np.int64)
+            flops = m * k * n
+            ws = 8 * (m * k + k * n + m * n)
+            # the matmul_mflops ladder, first-match-wins (np.select order)
+            rate = np.select(
+                [flops == 0, flops < 2048, flops < 8192, flops < 32768,
+                 ws <= self.cache_bytes, ws <= 3 * self.cache_bytes,
+                 ws <= 12 * self.cache_bytes],
+                [7.4, 3.8, 4.0, 5.8, 7.4, 6.9, 6.2], default=5.2)
+            return (2.0 / rate) * flops
+        return super().compute_time_batch(kind, params, ranks)
 
     # ------------------------------------------------------------------
     # Communication

@@ -28,7 +28,6 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.params import ModelParams, paper_params
 from ..core.relations import CommPhase
-from ..core.work import Work, nominal_time
 from .base import Machine
 
 __all__ = ["GCel"]
@@ -72,11 +71,8 @@ class GCel(Machine):
         self.drift_rate = 1400.0
         self.compute_noise = 0.01
 
-    # ------------------------------------------------------------------
-    # Local computation: MIMD, small per-node timing jitter.
-    # ------------------------------------------------------------------
-    def compute_time(self, work: Work, rank: int) -> float:
-        return nominal_time(work, self.nominal) * self.jitter(self.compute_noise)
+    # Local computation: MIMD, nominal coefficients with small per-item
+    # timing jitter — the base class applies ``compute_noise``.
 
     # ------------------------------------------------------------------
     # Communication

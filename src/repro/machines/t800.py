@@ -29,7 +29,6 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.params import ModelParams
 from ..core.relations import CommPhase
-from ..core.work import Work, nominal_time
 from .base import Machine
 
 __all__ = ["T800Grid"]
@@ -79,8 +78,8 @@ class T800Grid(Machine):
         dr, dc = np.divmod(dst, self.side)
         return np.abs(sr - dr) + np.abs(sc - dc)
 
-    def compute_time(self, work: Work, rank: int) -> float:
-        return nominal_time(work, self.nominal) * self.jitter(self.compute_noise)
+    # local computation: nominal coefficients; the base class multiplies
+    # in one ``compute_noise`` jitter factor per work item.
 
     def _link_contention(self, phase: CommPhase, words: np.ndarray) -> float:
         """Serialisation on the busiest mesh link (dimension-ordered

@@ -1,10 +1,27 @@
 """Parallel, cache-aware experiment execution (``repro run --jobs N``)."""
 
+from .bench import (
+    BenchRecord,
+    QUICK_IDS,
+    append_trajectory,
+    check_budgets,
+    parse_budgets,
+    render_bench,
+    run_bench,
+)
 from .cache import CacheStats, ResultCache, default_cache_root
 from .fingerprint import clear_fingerprint_memo, experiment_key, source_fingerprint
 from .pool import RunOutcome, resolve_ids, run_experiments
+from .profile import profile_path, profiled_run, render_profile
 
 __all__ = [
+    "BenchRecord",
+    "QUICK_IDS",
+    "append_trajectory",
+    "check_budgets",
+    "parse_budgets",
+    "render_bench",
+    "run_bench",
     "CacheStats",
     "ResultCache",
     "default_cache_root",
@@ -14,4 +31,7 @@ __all__ = [
     "RunOutcome",
     "resolve_ids",
     "run_experiments",
+    "profile_path",
+    "profiled_run",
+    "render_profile",
 ]

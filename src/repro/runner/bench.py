@@ -1,0 +1,161 @@
+"""Perf-regression harness: cold wall-times for the experiment sweep.
+
+``repro bench`` runs experiments *without* the result cache, measures the
+host wall-clock of each, and appends one record to a trajectory file
+(``BENCH_sweep.json`` by default).  The file accumulates one entry per
+bench run, so regressions show up as a step in the trajectory — the same
+methodology the paper applies to its machines, pointed at the simulator
+itself.
+
+Budgets (``--budget fig5=60``) turn the harness into a CI gate: the run
+fails if any budgeted experiment exceeds its allotted seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..core.errors import ExperimentError
+
+__all__ = ["BenchRecord", "run_bench", "render_bench", "parse_budgets",
+           "QUICK_IDS"]
+
+#: the ``--quick`` subset: one experiment per subsystem (calibration,
+#: matmul, sorting, scatter analysis) — small enough for a CI smoke job,
+#: still exercising every machine model and the engine hot path.
+QUICK_IDS = ["table1", "fig1", "fig4", "fig5", "fig14"]
+
+
+@dataclass
+class BenchRecord:
+    """One bench run: per-experiment cold wall times, in seconds."""
+
+    label: str
+    scale: float
+    seed: int
+    times_s: dict[str, float] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return float(sum(self.times_s.values()))
+
+    def slowest(self, n: int = 5) -> list[tuple[str, float]]:
+        ranked = sorted(self.times_s.items(), key=lambda kv: -kv[1])
+        return ranked[:n]
+
+    def to_dict(self) -> dict:
+        doc = {
+            "label": self.label,
+            "utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "scale": self.scale,
+            "seed": self.seed,
+            "total_s": round(self.total_s, 3),
+            "experiments": {k: round(v, 4) for k, v in self.times_s.items()},
+        }
+        if self.errors:
+            doc["errors"] = dict(self.errors)
+        return doc
+
+
+def parse_budgets(specs: list[str]) -> dict[str, float]:
+    """Parse ``["fig5=60", ...]`` into ``{"fig5": 60.0}``."""
+    budgets: dict[str, float] = {}
+    for spec in specs:
+        exp_id, sep, limit = spec.partition("=")
+        try:
+            budgets[exp_id] = float(limit) if sep else float("nan")
+        except ValueError:
+            sep = ""
+        if not sep or budgets.get(exp_id) != budgets.get(exp_id) \
+                or budgets[exp_id] <= 0:
+            raise ExperimentError(
+                f"bad budget {spec!r}; expected e.g. fig5=60 (seconds)")
+    return budgets
+
+
+def run_bench(ids: list[str], *, scale: float = 1.0, seed: int = 0,
+              label: str = "", profile_dir: str | Path | None = None,
+              progress=None) -> BenchRecord:
+    """Cold-run ``ids`` one at a time, timing each with the host clock.
+
+    No cache is consulted or written — the point is the cost of computing,
+    not of loading.  ``profile_dir`` additionally collects one cProfile
+    ``pstats`` dump per experiment (see ``repro run --profile``).
+    """
+    from ..experiments import get
+    from .pool import resolve_ids
+
+    ids = resolve_ids(ids)
+    record = BenchRecord(label=label, scale=scale, seed=seed)
+    for exp_id in ids:
+        if progress is not None:
+            progress(f"bench {exp_id} ...")
+        t0 = time.perf_counter()
+        try:
+            if profile_dir is not None:
+                from .profile import profiled_run
+
+                profiled_run(exp_id, scale=scale, seed=seed,
+                             profile_dir=profile_dir)
+            else:
+                get(exp_id).run(scale=scale, seed=seed)
+        except Exception as exc:  # record, keep sweeping
+            record.errors[exp_id] = f"{type(exc).__name__}: {exc}"
+        record.times_s[exp_id] = time.perf_counter() - t0
+        if progress is not None:
+            progress(f"bench {exp_id}: {record.times_s[exp_id]:.2f}s")
+    return record
+
+
+def append_trajectory(record: BenchRecord, out: str | Path) -> Path:
+    """Append ``record`` to the trajectory file ``out`` (created if new)."""
+    path = Path(out)
+    doc = {"runs": []}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            doc = {"runs": []}
+        if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+            doc = {"runs": []}
+    doc["runs"].append(record.to_dict())
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return path
+
+
+def render_bench(record: BenchRecord, *, top: int = 5) -> str:
+    """The slowest-experiments table plus totals."""
+    lines = [f"bench: {len(record.times_s)} experiment(s), "
+             f"scale={record.scale}, seed={record.seed}, "
+             f"total {record.total_s:.1f}s"]
+    if record.times_s:
+        lines.append(f"{'slowest':<16} {'seconds':>9}   share")
+        total = record.total_s or 1.0
+        for exp_id, secs in record.slowest(top):
+            lines.append(f"{exp_id:<16} {secs:>9.2f}   {secs / total:>5.1%}")
+    for exp_id, err in record.errors.items():
+        lines.append(f"ERROR {exp_id}: {err}")
+    return "\n".join(lines)
+
+
+def check_budgets(record: BenchRecord,
+                  budgets: dict[str, float]) -> list[str]:
+    """Return one violation message per budget exceeded (or missing)."""
+    problems = []
+    for exp_id, limit in budgets.items():
+        got = record.times_s.get(exp_id)
+        if got is None:
+            problems.append(f"budget {exp_id}={limit}s: experiment not run")
+        elif exp_id in record.errors:
+            problems.append(f"budget {exp_id}: {record.errors[exp_id]}")
+        elif got > limit:
+            problems.append(
+                f"budget exceeded: {exp_id} took {got:.1f}s > {limit:.0f}s")
+    return problems

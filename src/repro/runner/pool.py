@@ -60,11 +60,17 @@ def resolve_ids(ids: list[str]) -> list[str]:
     return out
 
 
-def _worker(exp_id: str, scale: float, seed: int) -> dict:
-    """Run one experiment in a worker process (dict result pickles small)."""
+def _worker(exp_id: str, scale: float, seed: int) -> tuple[dict, float]:
+    """Run one experiment in a worker process (dict result pickles small).
+
+    Returns the serialised result plus the in-worker wall time, so the
+    parent's timing summary reflects compute cost, not queue wait.
+    """
     from ..experiments import get
 
-    return get(exp_id).run(scale=scale, seed=seed).to_dict()
+    t0 = time.perf_counter()
+    result = get(exp_id).run(scale=scale, seed=seed).to_dict()
+    return result, time.perf_counter() - t0
 
 
 def run_experiments(ids: list[str], *, scale: float = 1.0, seed: int = 0,
@@ -112,12 +118,11 @@ def run_experiments(ids: list[str], *, scale: float = 1.0, seed: int = 0,
         else:
             fresh = {}
             with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as ex:
-                t0 = time.perf_counter()
                 futures = {exp_id: ex.submit(_worker, exp_id, scale, seed)
                            for exp_id in misses}
                 for exp_id, fut in futures.items():
-                    result = ExperimentResult.from_dict(fut.result())
-                    fresh[exp_id] = (result, time.perf_counter() - t0)
+                    doc, elapsed = fut.result()
+                    fresh[exp_id] = (ExperimentResult.from_dict(doc), elapsed)
         for exp_id, (result, elapsed) in fresh.items():
             if cache is not None:
                 if force:

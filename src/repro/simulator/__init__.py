@@ -5,9 +5,12 @@ NumPy data) on virtual processors while a machine model charges virtual
 time — the substitute for the paper's MasPar / GCel / CM-5 testbeds.
 """
 
+from .batch import WorkBatch
 from .commands import SyncToken
 from .context import ProcContext
 from .engine import run_spmd
 from .result import RunResult
+from .vector import VectorContext, run_spmd_vector
 
-__all__ = ["run_spmd", "ProcContext", "SyncToken", "RunResult"]
+__all__ = ["run_spmd", "run_spmd_vector", "ProcContext", "VectorContext",
+           "WorkBatch", "SyncToken", "RunResult"]

@@ -1,0 +1,174 @@
+"""Batched work accounting shared by the generator and vector engines.
+
+The inner loop the paper's big sweeps used to pay for —
+``sum(machine.compute_time(w, rank) for w in items)`` per processor per
+superstep — is replaced here by array pricing: items are grouped by work
+kind, priced through :meth:`Machine.compute_time_batch` as parameter
+vectors, jittered with *one* vectorised noise draw, and accumulated into
+the clocks.
+
+Bit-identity contract (the golden figures depend on it):
+
+* per-item deterministic prices equal ``compute_time_base`` exactly
+  (same IEEE operations elementwise);
+* the noise stream is consumed in flat ``(rank, charge-order)`` item
+  order — ``rng.normal(size=n)`` draws the same sequence as ``n``
+  scalar ``rng.normal()`` calls;
+* per-rank totals are summed left-to-right over a rank's items, then
+  added to the clock once, exactly like the scalar
+  ``clocks[rank] += sum(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.work import WORK_FIELDS, Work
+
+__all__ = ["WorkBatch", "charge_work_dict", "charge_batches"]
+
+
+class WorkBatch:
+    """One homogeneous charge: ``kind`` items with vector parameters.
+
+    ``params`` maps the kind's field names to equal-length sequences;
+    ``ranks`` holds the owning processor of each item.  Emitted by
+    vector programs via :meth:`VectorContext.charge_batch`.
+    """
+
+    __slots__ = ("kind", "params", "ranks")
+
+    def __init__(self, kind: type, params: dict[str, Any], ranks: np.ndarray):
+        self.kind = kind
+        self.ranks = np.asarray(ranks, dtype=np.int64)
+        fields = WORK_FIELDS.get(kind)
+        if fields is None:
+            raise SimulationError(
+                f"work kind {kind.__name__} has no WORK_FIELDS entry; "
+                "vector programs can only batch registered kinds")
+        self.params = {
+            f: np.broadcast_to(np.asarray(params[f]), self.ranks.shape)
+            for f in fields}
+
+    def __len__(self) -> int:
+        return int(self.ranks.size)
+
+
+def _price_flat(machine, items: Sequence[Work],
+                ranks: np.ndarray) -> np.ndarray:
+    """Deterministic per-item prices, preserving item order."""
+    base = np.empty(len(items))
+    by_kind: dict[type, list[int]] = {}
+    for i, item in enumerate(items):
+        by_kind.setdefault(type(item), []).append(i)
+    for kind, positions in by_kind.items():
+        idx = np.asarray(positions, dtype=np.intp)
+        prices = None
+        fields = WORK_FIELDS.get(kind)
+        if fields is not None:
+            params = {f: np.array([getattr(items[i], f) for i in positions])
+                      for f in fields}
+            prices = machine.compute_time_batch(kind, params, ranks[idx])
+        if prices is None:  # exotic kind: per-item scalar fallback
+            for i in positions:
+                base[i] = machine.compute_time_base(items[i], int(ranks[i]))
+        else:
+            base[idx] = prices
+    return base
+
+
+def _accumulate(clocks: np.ndarray, ranks: np.ndarray,
+                times: np.ndarray) -> None:
+    """``clocks[r] += sum(times of r)`` with scalar-path float semantics.
+
+    ``ranks`` must be rank-major (non-decreasing).  Totals are summed
+    left-to-right per rank and added to the clock in one operation.
+    """
+    n = ranks.size
+    if n == 0:
+        return
+    change = np.nonzero(np.diff(ranks))[0] + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    lengths = ends - starts
+    single = lengths == 1
+    if single.all():
+        clocks[ranks[starts]] += times[starts]
+        return
+    clocks[ranks[starts[single]]] += times[starts[single]]
+    for s, e in zip(starts[~single], ends[~single]):
+        clocks[ranks[s]] += sum(times[s:e])
+
+
+def charge_work_dict(machine, work: dict[int, list[Work]],
+                     clocks: np.ndarray) -> None:
+    """Charge the generator engine's per-rank work lists, batched.
+
+    ``work`` must iterate in ascending rank order (the engine drains
+    contexts in rank order), with each rank's items in charge order.
+    """
+    if not work:
+        return
+    items: list[Work] = []
+    rank_list: list[int] = []
+    for rank, rank_items in work.items():
+        items.extend(rank_items)
+        rank_list.extend([rank] * len(rank_items))
+    ranks = np.asarray(rank_list, dtype=np.int64)
+    times = _price_flat(machine, items, ranks)
+    if machine.compute_noise:
+        times = times * (1.0 + machine.rng.normal(
+            0.0, machine.compute_noise, size=times.size))
+    _accumulate(clocks, ranks, times)
+
+
+def charge_batches(machine, batches: Sequence[WorkBatch],
+                   clocks: np.ndarray) -> dict[int, list[Work]]:
+    """Charge a vector superstep's work batches; return the trace dict.
+
+    Batches are flattened into the generator path's flat order — items
+    sorted by rank, ties broken by batch emission order — so prices,
+    noise draws and clock updates are bit-identical to running the
+    equivalent per-rank program.  The returned ``{rank: [Work, ...]}``
+    dict matches what the generator engine records in the trace.
+    """
+    batches = [b for b in batches if len(b)]
+    if not batches:
+        return {}
+    ranks = np.concatenate([b.ranks for b in batches])
+    order = np.argsort(ranks, kind="stable")
+    ranks = ranks[order]
+    base = np.empty(order.size)
+    pos = 0
+    for b in batches:
+        prices = machine.compute_time_batch(b.kind, b.params, b.ranks)
+        if prices is None:
+            prices = np.array([
+                machine.compute_time_base(
+                    b.kind(*(b.params[f][i] for f in b.params)), int(r))
+                for i, r in enumerate(b.ranks)])
+        base[pos:pos + len(b)] = prices
+        pos += len(b)
+    times = base[order]
+    if machine.compute_noise:
+        times = times * (1.0 + machine.rng.normal(
+            0.0, machine.compute_noise, size=times.size))
+    _accumulate(clocks, ranks, times)
+
+    # materialise Work objects for the trace (dict in rank order, items
+    # in emission order — what the generator engine would have recorded)
+    work: dict[int, list[Work]] = {}
+    flat_kinds: list[type] = []
+    flat_args: list[tuple] = []
+    for b in batches:
+        cols = [b.params[f].tolist() for f in b.params]
+        flat_kinds.extend([b.kind] * len(b))
+        flat_args.extend(zip(*cols))
+    rank_seq = ranks.tolist()
+    for j, flat_i in enumerate(order.tolist()):
+        work.setdefault(rank_seq[j], []).append(
+            flat_kinds[flat_i](*flat_args[flat_i]))
+    return work

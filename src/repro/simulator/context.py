@@ -36,9 +36,23 @@ def _payload_nbytes(payload: Any) -> int:
     if isinstance(payload, (int, float, np.integer, np.floating)):
         return 8
     if isinstance(payload, (list, tuple)):
+        # Homogeneous numeric sequences are the overwhelmingly common
+        # case; sizing them as 8 bytes/element when both endpoints are
+        # scalars avoids an O(n) per-element recursion on every send.
+        # Sequences of containers (or mixed with a container endpoint)
+        # take the recursive path; pass nbytes= for exotic mixtures.
+        if payload and (
+                isinstance(payload[0], (int, float, np.integer, np.floating))
+                and isinstance(payload[-1],
+                               (int, float, np.integer, np.floating))):
+            return 8 * len(payload)
         return sum(_payload_nbytes(x) for x in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(v) for v in payload.values())
     raise SimulationError(
-        f"cannot infer message size of {type(payload).__name__}; pass nbytes=")
+        f"cannot infer message size of {type(payload).__name__}; pass "
+        "nbytes= explicitly (supported without it: ndarray, bytes, "
+        "scalars, list/tuple/dict of those)")
 
 
 class ProcContext:
@@ -56,8 +70,14 @@ class ProcContext:
         self.simd = simd
         # Filled by the engine between supersteps:
         self._inbox: dict[Any, list[tuple[int, Any]]] = {}
-        # Accumulated during the current superstep:
-        self._pending_sends: list[tuple[int, int, int, int, Any, Any]] = []
+        # Sends accumulated during the current superstep, columnar: the
+        # numeric accounting goes into one flat int list (4 entries per
+        # send — dst, count, msg_bytes, step) that the engine reshapes
+        # into the CommPhase arrays in a single C-speed conversion;
+        # tags/payloads stay in parallel object lists.
+        self._send_vals: list[int] = []
+        self._send_tags: list[Any] = []
+        self._send_payloads: list[Any] = []
         self._pending_work: list[Work] = []
 
     # ------------------------------------------------------------------
@@ -83,7 +103,9 @@ class ProcContext:
         msg_bytes = -(-total // count) if total else 0
         if copy and isinstance(payload, np.ndarray):
             payload = payload.copy()
-        self._pending_sends.append((dst, count, msg_bytes, step, tag, payload))
+        self._send_vals += (dst, count, msg_bytes, step)
+        self._send_tags.append(tag)
+        self._send_payloads.append(payload)
 
     def put_words(self, dst: int, n_words: int, payload: Any = None, *,
                   tag: Any = None, step: int = -1) -> None:
@@ -173,10 +195,18 @@ class ProcContext:
     # ------------------------------------------------------------------
     # Engine-side hooks (not for program use)
     # ------------------------------------------------------------------
-    def _drain(self) -> tuple[list[tuple[int, int, int, int, Any, Any]], list[Work]]:
-        sends, work = self._pending_sends, self._pending_work
-        self._pending_sends, self._pending_work = [], []
-        return sends, work
+    def _drain(self) -> tuple[list[int], list[Any], list[Any], list[Work]]:
+        """Return and reset ``(send_vals, tags, payloads, work)``.
+
+        ``send_vals`` is the flat columnar accounting — 4 ints per send
+        in emission order: ``dst, count, msg_bytes, step``.
+        """
+        vals, tags, payloads = (self._send_vals, self._send_tags,
+                                self._send_payloads)
+        work = self._pending_work
+        self._send_vals, self._send_tags, self._send_payloads = [], [], []
+        self._pending_work = []
+        return vals, tags, payloads, work
 
     def _deliver(self, src: int, tag: Any, payload: Any) -> None:
         self._inbox.setdefault(tag, []).append((src, payload))

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.errors import DeadlockError, SimulationError
 from ..core.relations import CommPhase
 from ..core.trace import Superstep, Trace
+from .batch import charge_work_dict
 from .commands import SyncToken
 from .context import ProcContext
 from .result import RunResult
@@ -101,27 +102,29 @@ def run_spmd(machine, program: Program, *args: Any, P: int | None = None,
                 tokens[rank] = token
 
         # ---- collect work and sends from every context ----
-        srcs: list[int] = []
-        dsts: list[int] = []
-        counts: list[int] = []
-        sizes: list[int] = []
-        steps: list[int] = []
-        deliveries: list[tuple[int, int, Any, Any]] = []  # (dst, src, tag, payload)
+        # Contexts accumulate sends columnar (flat int list + parallel
+        # tag/payload lists), so assembling the CommPhase arrays is one
+        # list concatenation per context plus one C-speed np conversion
+        # — no per-message Python tuple traffic.
+        send_vals: list[int] = []  # flat: dst, count, msg_bytes, step per send
+        send_tags: list[Any] = []
+        send_payloads: list[Any] = []
+        src_runs: list[int] = []   # rank of each contiguous run of sends
+        run_lens: list[int] = []
         work: dict[int, list] = {}
         for rank, ctx in enumerate(contexts):
-            sends, items = ctx._drain()
+            vals, tags, payloads, items = ctx._drain()
             if items:
                 work[rank] = items
-            for dst, count, msg_bytes, step, tag, payload in sends:
-                srcs.append(rank)
-                dsts.append(dst)
-                counts.append(count)
-                sizes.append(msg_bytes)
-                steps.append(step)
-                deliveries.append((dst, rank, tag, payload))
+            if tags:
+                send_vals += vals
+                send_tags += tags
+                send_payloads += payloads
+                src_runs.append(rank)
+                run_lens.append(len(tags))
 
         live_tokens = [t for t in tokens if t is not None]
-        if not live_tokens and not srcs and not work:
+        if not live_tokens and not send_tags and not work:
             continue  # every processor returned without trailing activity
 
         stagger = True
@@ -135,20 +138,22 @@ def run_spmd(machine, program: Program, *args: Any, P: int | None = None,
             if t.label and not step_label:
                 step_label = t.label
 
+        cols = np.asarray(send_vals, dtype=np.int64).reshape(-1, 4)
+        src = np.repeat(np.asarray(src_runs, dtype=np.int64),
+                        np.asarray(run_lens, dtype=np.int64))
         phase = CommPhase(
             P=P,
-            src=np.asarray(srcs, dtype=np.int64),
-            dst=np.asarray(dsts, dtype=np.int64),
-            count=np.asarray(counts, dtype=np.int64),
-            msg_bytes=np.asarray(sizes, dtype=np.int64),
-            step=np.asarray(steps, dtype=np.int64),
+            src=src,
+            dst=cols[:, 0].copy(),
+            count=cols[:, 1].copy(),
+            msg_bytes=cols[:, 2].copy(),
+            step=cols[:, 3].copy(),
             stagger=stagger,
         )
 
-        # ---- charge local computation ----
+        # ---- charge local computation (batched across all ranks) ----
         start_max = float(clocks.max())
-        for rank, items in work.items():
-            clocks[rank] += sum(machine.compute_time(w, rank) for w in items)
+        charge_work_dict(machine, work, clocks)
 
         # ---- price communication, advance clocks, deliver payloads ----
         clocks = machine.comm_time(phase, clocks, barrier=barrier)
@@ -156,8 +161,10 @@ def run_spmd(machine, program: Program, *args: Any, P: int | None = None,
             raise SimulationError(
                 f"machine {machine.name} returned clocks of shape "
                 f"{clocks.shape}, expected ({P},)")
-        for dst, src, tag, payload in deliveries:
-            contexts[dst]._deliver(src, tag, payload)
+        if send_tags:
+            for dst, s, tag, payload in zip(phase.dst.tolist(), src.tolist(),
+                                            send_tags, send_payloads):
+                contexts[dst]._deliver(s, tag, payload)
 
         record = Superstep(phase=phase, work=work, label=step_label,
                            measured_us=float(clocks.max()) - start_max)

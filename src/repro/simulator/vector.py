@@ -1,0 +1,258 @@
+"""Lockstep vector fast path for SPMD programs.
+
+:func:`run_spmd` resumes ``P`` Python generators per superstep — faithful,
+but the interpreter pays for every rank separately even though the
+programs are SPMD: at any superstep all ranks execute the *same* code on
+different data.  :func:`run_spmd_vector` exploits that: ONE generator (a
+"vector program") executes each superstep for all ``P`` ranks at once on
+stacked arrays, emitting sends as whole message *groups*
+(:meth:`VectorContext.put_group`) and work as homogeneous batches
+(:class:`~repro.simulator.batch.WorkBatch`).
+
+The contract is strict bit-identity with the generator engine: given the
+same machine (same seed), a vector program and its per-rank counterpart
+must produce identical clocks, traces and results.  The engine holds up
+its half of the bargain by
+
+* ordering each superstep's message groups rank-major (source ascending,
+  emission order within a source) via a stable sort — the order in which
+  the generator engine drains per-rank contexts;
+* charging work through :func:`~repro.simulator.batch.charge_batches`,
+  which prices, jitters and accumulates in the generator path's flat
+  item order;
+* mirroring the generator engine's superstep bookkeeping exactly: the
+  stagger/barrier/label resolution, the empty-phase barrier, and the
+  trailing superstep that drains work charged after the last ``sync``.
+
+Vector programs must keep *their* half: emit groups and batches in the
+same per-rank order as the per-rank program, and keep per-rank
+floating-point operations in the same association order (e.g. loop over
+partial sums rather than ``np.sum`` along an axis).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..core.errors import DeadlockError, SimulationError
+from ..core.relations import CommPhase
+from ..core.trace import Superstep, Trace
+from ..core.work import Compare, Copy, Flops, MatmulBlock, Merge, RadixSort
+from .batch import WorkBatch, charge_batches
+from .commands import SyncToken
+from .result import RunResult
+
+__all__ = ["VectorContext", "run_spmd_vector", "resolve_engine"]
+
+ENGINES = ("auto", "generator", "vector")
+
+
+def resolve_engine(engine: str, *, vector_ok: bool = True) -> str:
+    """Pick the engine for an ``engine=`` algorithm argument.
+
+    ``"auto"`` takes the vector fast path whenever the algorithm has a
+    vector port for the requested configuration (``vector_ok``);
+    requesting ``"vector"`` without one is an error.
+    """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "auto":
+        return "vector" if vector_ok else "generator"
+    if engine == "vector" and not vector_ok:
+        raise SimulationError(
+            "no vector port for this configuration; use engine='generator'")
+    return engine
+
+VectorProgram = Callable[..., Iterator[SyncToken]]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class VectorContext:
+    """The view a vector program has of all ``P`` processors at once."""
+
+    __slots__ = ("P", "word_bytes", "simd", "_groups", "_batches")
+
+    def __init__(self, P: int, word_bytes: int, simd: bool = False):
+        if P < 1:
+            raise SimulationError(f"need at least one processor, got P={P}")
+        self.P = P
+        self.word_bytes = word_bytes
+        self.simd = simd
+        # per-superstep accumulators, drained by the engine at each sync:
+        self._groups: list[tuple[np.ndarray, ...]] = []
+        self._batches: list[WorkBatch] = []
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def ranks(self) -> np.ndarray:
+        """``[0, 1, ..., P-1]`` — the all-ranks source vector."""
+        return np.arange(self.P, dtype=np.int64)
+
+    def put_group(self, src, dst, *, nbytes, count=1, step=-1) -> None:
+        """Emit one message per ``src[i] -> dst[i]`` pair.
+
+        The vector equivalent of every rank in ``src`` calling
+        :meth:`ProcContext.put` once; arguments broadcast against
+        ``src``.  Within one group a rank should appear at most once per
+        logical send position — emit several groups (in per-rank program
+        order) for multi-send supersteps, so the engine's stable
+        rank-major sort reproduces the per-rank emission order.
+        """
+        src = np.atleast_1d(np.asarray(src, dtype=np.int64))
+        if src.size == 0:
+            return
+        dst = np.broadcast_to(np.asarray(dst, dtype=np.int64), src.shape)
+        count = np.broadcast_to(np.asarray(count, dtype=np.int64), src.shape)
+        total = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), src.shape)
+        step = np.broadcast_to(np.asarray(step, dtype=np.int64), src.shape)
+        if ((src < 0) | (src >= self.P)).any():
+            raise SimulationError(f"source rank out of range (P={self.P})")
+        if ((dst < 0) | (dst >= self.P)).any():
+            raise SimulationError(f"destination out of range (P={self.P})")
+        if (count < 1).any():
+            raise SimulationError("count must be >= 1")
+        if (total < 0).any():
+            raise SimulationError("nbytes must be >= 0")
+        msg_bytes = np.where(total, -(-total // count), 0)
+        self._groups.append((src, dst, count, msg_bytes, step))
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    def sync(self, label: str = "", *, stagger: bool | None = None,
+             barrier: bool = True) -> SyncToken:
+        """Superstep boundary token; the vector program must ``yield`` it."""
+        return SyncToken(label=label, stagger=stagger, barrier=barrier)
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def charge_batch(self, kind: type, ranks, **params) -> None:
+        """Charge one ``kind`` work item per rank in ``ranks``.
+
+        ``params`` maps the kind's fields to scalars or per-item arrays.
+        Like sends, batches must be emitted in per-rank charge order.
+        """
+        self._batches.append(WorkBatch(kind, params, np.asarray(ranks)))
+
+    def charge_flops(self, ranks, n) -> None:
+        self.charge_batch(Flops, ranks, n=n)
+
+    def charge_matmul(self, ranks, m, k, n) -> None:
+        self.charge_batch(MatmulBlock, ranks, m=m, k=k, n=n)
+
+    def charge_sort(self, ranks, n, *, bits: int = 32,
+                    radix_bits: int = 8) -> None:
+        self.charge_batch(RadixSort, ranks, n=n, bits=bits,
+                          radix_bits=radix_bits)
+
+    def charge_merge(self, ranks, n) -> None:
+        self.charge_batch(Merge, ranks, n=n)
+
+    def charge_compare(self, ranks, n) -> None:
+        self.charge_batch(Compare, ranks, n=n)
+
+    def charge_copy(self, ranks, n_words) -> None:
+        self.charge_batch(Copy, ranks, n=n_words)
+
+    # ------------------------------------------------------------------
+    # Engine-side hooks
+    # ------------------------------------------------------------------
+    def _drain(self) -> tuple[list[tuple[np.ndarray, ...]], list[WorkBatch]]:
+        groups, batches = self._groups, self._batches
+        self._groups, self._batches = [], []
+        return groups, batches
+
+
+def run_spmd_vector(machine, program: VectorProgram, *args: Any,
+                    P: int | None = None, label: str = "",
+                    max_supersteps: int = 1_000_000,
+                    **kwargs: Any) -> RunResult:
+    """Run a vector program on ``P`` virtual processors of ``machine``.
+
+    Drop-in replacement for :func:`run_spmd` given the vector port of a
+    per-rank program: same :class:`RunResult` (``returns`` is the list
+    the program returns, one entry per rank), bit-identical clocks and
+    trace.
+    """
+    P = machine.P if P is None else P
+    if not 0 < P <= machine.P:
+        raise SimulationError(
+            f"requested P={P} processors on a {machine.P}-processor machine")
+
+    ctx = VectorContext(P, machine.nominal.w, simd=machine.simd)
+    gen = program(ctx, *args, **kwargs)
+    if not hasattr(gen, "__next__"):
+        raise SimulationError(
+            "vector program must be a generator function (got "
+            f"{type(gen).__name__}); did you forget a 'yield ctx.sync()'?")
+
+    clocks = np.zeros(P)
+    trace = Trace(P=P, label=label)
+    returns: list[Any] | None = None
+    done = False
+
+    for _ in range(max_supersteps):
+        token: SyncToken | None = None
+        if not done:
+            try:
+                token = next(gen)
+            except StopIteration as stop:
+                returns = stop.value
+                done = True
+            if token is not None and not isinstance(token, SyncToken):
+                raise SimulationError(
+                    f"vector program yielded {token!r}; programs may only "
+                    "yield ctx.sync() tokens")
+
+        groups, batches = ctx._drain()
+        if done and not groups and not batches:
+            break  # program returned without trailing activity
+
+        if groups:
+            src = np.concatenate([g[0] for g in groups])
+            # rank-major order, emission order within a rank — exactly
+            # how the generator engine drains contexts rank by rank
+            order = np.argsort(src, kind="stable")
+            src = src[order]
+            dst, count, msg_bytes, step = (
+                np.concatenate([g[i] for g in groups])[order]
+                for i in range(1, 5))
+        else:
+            src = dst = count = msg_bytes = step = _EMPTY
+
+        # a lone vector token plays the role of all P live tokens
+        stagger = not (token is not None and token.stagger is False)
+        barrier = token.barrier if token is not None else True
+        step_label = token.label if token is not None else ""
+
+        phase = CommPhase(P=P, src=src, dst=dst, count=count,
+                          msg_bytes=msg_bytes, step=step, stagger=stagger)
+
+        start_max = float(clocks.max())
+        work = charge_batches(machine, batches, clocks)
+
+        clocks = machine.comm_time(phase, clocks, barrier=barrier)
+        if clocks.shape != (P,):
+            raise SimulationError(
+                f"machine {machine.name} returned clocks of shape "
+                f"{clocks.shape}, expected ({P},)")
+
+        trace.append(Superstep(phase=phase, work=work, label=step_label,
+                               measured_us=float(clocks.max()) - start_max))
+        if done:
+            break
+    else:
+        raise DeadlockError(
+            f"vector program exceeded {max_supersteps} supersteps; "
+            "suspected livelock")
+
+    if returns is not None and not isinstance(returns, list):
+        returns = list(returns)
+    return RunResult(time_us=float(clocks.max()), clocks=clocks,
+                     trace=trace, returns=returns)

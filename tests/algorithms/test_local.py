@@ -16,7 +16,7 @@ def ctx():
 
 
 def charged(ctx):
-    _, work = ctx._drain()
+    *_, work = ctx._drain()
     return work
 
 

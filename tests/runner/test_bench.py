@@ -1,0 +1,140 @@
+"""The perf-regression harness: budgets, trajectory file, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ExperimentError
+from repro.runner.bench import (BenchRecord, QUICK_IDS, append_trajectory,
+                                check_budgets, parse_budgets, render_bench,
+                                run_bench)
+from repro.runner.profile import profile_path, profiled_run, render_profile
+
+# the cheapest registered experiment — keeps these tests out of the
+# slow lane while still exercising the real registry path
+FAST_ID = "ext-t800"
+
+
+class TestParseBudgets:
+    def test_parses_seconds(self):
+        assert parse_budgets(["fig5=60", "fig12=2.5"]) == \
+            {"fig5": 60.0, "fig12": 2.5}
+
+    def test_empty(self):
+        assert parse_budgets([]) == {}
+
+    @pytest.mark.parametrize("spec", ["fig5", "fig5=", "fig5=abc", "fig5=0",
+                                      "fig5=-3"])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ExperimentError, match="bad budget"):
+            parse_budgets([spec])
+
+
+class TestBenchRecord:
+    def test_totals_and_slowest(self):
+        rec = BenchRecord(label="x", scale=1.0, seed=0,
+                          times_s={"a": 1.0, "b": 3.0, "c": 2.0})
+        assert rec.total_s == pytest.approx(6.0)
+        assert rec.slowest(2) == [("b", 3.0), ("c", 2.0)]
+
+    def test_to_dict_round_trips_through_json(self):
+        rec = BenchRecord(label="x", scale=0.5, seed=7,
+                          times_s={"a": 1.23456}, errors={"b": "boom"})
+        doc = json.loads(json.dumps(rec.to_dict()))
+        assert doc["scale"] == 0.5
+        assert doc["experiments"]["a"] == 1.2346
+        assert doc["errors"] == {"b": "boom"}
+
+
+class TestCheckBudgets:
+    def test_within_budget(self):
+        rec = BenchRecord(label="", scale=1.0, seed=0, times_s={"a": 1.0})
+        assert check_budgets(rec, {"a": 2.0}) == []
+
+    def test_exceeded(self):
+        rec = BenchRecord(label="", scale=1.0, seed=0, times_s={"a": 3.0})
+        (msg,) = check_budgets(rec, {"a": 2.0})
+        assert "budget exceeded" in msg and "a" in msg
+
+    def test_missing_experiment(self):
+        rec = BenchRecord(label="", scale=1.0, seed=0)
+        (msg,) = check_budgets(rec, {"a": 2.0})
+        assert "not run" in msg
+
+    def test_errored_experiment(self):
+        rec = BenchRecord(label="", scale=1.0, seed=0,
+                          times_s={"a": 0.1}, errors={"a": "boom"})
+        (msg,) = check_budgets(rec, {"a": 2.0})
+        assert "boom" in msg
+
+
+class TestTrajectory:
+    def test_creates_then_appends(self, tmp_path):
+        out = tmp_path / "traj.json"
+        rec = BenchRecord(label="first", scale=1.0, seed=0,
+                          times_s={"a": 1.0})
+        append_trajectory(rec, out)
+        append_trajectory(rec, out)
+        doc = json.loads(out.read_text())
+        assert [r["label"] for r in doc["runs"]] == ["first", "first"]
+
+    def test_recovers_from_corrupt_file(self, tmp_path):
+        out = tmp_path / "traj.json"
+        out.write_text("{not json")
+        rec = BenchRecord(label="x", scale=1.0, seed=0)
+        append_trajectory(rec, out)
+        assert len(json.loads(out.read_text())["runs"]) == 1
+
+
+class TestRunBench:
+    def test_times_a_real_experiment(self):
+        record = run_bench([FAST_ID], scale=0.3, seed=0, label="test")
+        assert not record.errors
+        assert record.times_s[FAST_ID] > 0
+
+    def test_quick_ids_are_registered(self):
+        from repro.experiments import get
+
+        for exp_id in QUICK_IDS:
+            assert get(exp_id) is not None
+
+    def test_render_mentions_slowest(self):
+        rec = BenchRecord(label="", scale=1.0, seed=0,
+                          times_s={"a": 1.0, "b": 9.0})
+        text = render_bench(rec, top=1)
+        assert "total 10.0s" in text
+        assert "b" in text and "90.0%" in text
+
+
+class TestProfile:
+    def test_profiled_run_dumps_pstats(self, tmp_path):
+        result, path = profiled_run(FAST_ID, scale=0.3, seed=0,
+                                    profile_dir=tmp_path)
+        assert path == profile_path(tmp_path, FAST_ID, scale=0.3, seed=0)
+        assert path.is_file() and path.stat().st_size > 0
+        text = render_profile(path, top=5)
+        assert "cumulative" in text
+
+
+class TestBenchCli:
+    def test_exit_zero_within_budget(self, tmp_path, capsys):
+        out = tmp_path / "traj.json"
+        code = main(["bench", FAST_ID, "--scale", "0.3",
+                     "--out", str(out), "--budget", f"{FAST_ID}=300"])
+        assert code == 0
+        assert out.is_file()
+        assert "slowest" in capsys.readouterr().out
+
+    def test_exit_three_on_budget_violation(self, tmp_path, capsys):
+        out = tmp_path / "traj.json"
+        code = main(["bench", FAST_ID, "--scale", "0.3",
+                     "--out", str(out), "--budget", f"{FAST_ID}=0.000001"])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_quick_conflicts_with_ids(self, tmp_path, capsys):
+        code = main(["bench", "--quick", FAST_ID,
+                     "--out", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "either --quick" in capsys.readouterr().err

@@ -15,40 +15,62 @@ def ctx():
 class TestPut:
     def test_put_records_group(self, ctx):
         ctx.put(2, np.zeros(10, dtype=np.float64), tag="t")
-        sends, _ = ctx._drain()
-        dst, count, msg_bytes, step, tag, payload = sends[0]
-        assert dst == 2 and count == 1 and msg_bytes == 80 and tag == "t"
+        vals, tags, _, _ = ctx._drain()
+        dst, count, msg_bytes, step = vals
+        assert dst == 2 and count == 1 and msg_bytes == 80 and tags == ["t"]
 
     def test_put_words_splits_into_messages(self, ctx):
         ctx.put_words(3, 16)
-        sends, _ = ctx._drain()
-        dst, count, msg_bytes, *_ = sends[0]
+        vals, _, _, _ = ctx._drain()
+        _, count, msg_bytes, _ = vals
         assert count == 16 and msg_bytes == 4
 
     def test_explicit_nbytes(self, ctx):
         ctx.put(0, None, nbytes=100, count=4)
-        sends, _ = ctx._drain()
-        _, count, msg_bytes, *_ = sends[0]
+        vals, _, _, _ = ctx._drain()
+        _, count, msg_bytes, _ = vals
         assert count == 4 and msg_bytes == 25
+
+    def test_columnar_accumulation(self, ctx):
+        ctx.put(2, None, nbytes=8, step=1)
+        ctx.put(3, None, nbytes=16, count=2, step=4, tag="b")
+        vals, tags, payloads, _ = ctx._drain()
+        assert vals == [2, 1, 8, 1, 3, 2, 8, 4]
+        assert tags == [None, "b"] and payloads == [None, None]
 
     def test_payload_copied_by_default(self, ctx):
         buf = np.arange(4)
         ctx.put(2, buf)
         buf[:] = -1
-        sends, _ = ctx._drain()
-        assert sends[0][5].tolist() == [0, 1, 2, 3]
+        _, _, payloads, _ = ctx._drain()
+        assert payloads[0].tolist() == [0, 1, 2, 3]
 
     def test_copy_false_aliases(self, ctx):
         buf = np.arange(4)
         ctx.put(2, buf, copy=False)
         buf[:] = -1
-        sends, _ = ctx._drain()
-        assert sends[0][5][0] == -1
+        _, _, payloads, _ = ctx._drain()
+        assert payloads[0][0] == -1
 
     def test_scalar_payload_size_inferred(self, ctx):
         ctx.put(0, 3.14)
-        sends, _ = ctx._drain()
-        assert sends[0][2] == 8
+        vals, _, _, _ = ctx._drain()
+        assert vals[2] == 8
+
+    def test_numeric_list_sized_without_recursion(self, ctx):
+        ctx.put(0, [1.0] * 1000)
+        vals, _, _, _ = ctx._drain()
+        assert vals[2] == 8000
+
+    def test_dict_payload_sized(self, ctx):
+        ctx.put(0, {"a": 1.0, "b": np.zeros(4)})
+        vals, _, _, _ = ctx._drain()
+        assert vals[2] == 8 + 32
+
+    def test_nested_list_still_recursive(self, ctx):
+        ctx.put(0, [np.zeros(2), np.zeros(3)])
+        vals, _, _, _ = ctx._drain()
+        assert vals[2] == 40
 
     def test_bad_payload_needs_nbytes(self, ctx):
         with pytest.raises(SimulationError, match="nbytes"):
@@ -101,14 +123,15 @@ class TestWorkCharging:
         ctx.charge_compare(5)
         ctx.charge_copy(8)
         ctx.charge_us(1.0)
-        _, work = ctx._drain()
+        *_, work = ctx._drain()
         assert len(work) == 7
 
     def test_drain_resets(self, ctx):
         ctx.charge_flops(10)
+        ctx.put(0, None, nbytes=8)
         ctx._drain()
-        _, work = ctx._drain()
-        assert work == []
+        vals, tags, payloads, work = ctx._drain()
+        assert work == [] and vals == [] and tags == [] and payloads == []
 
 
 class TestSyncToken:

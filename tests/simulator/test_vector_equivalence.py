@@ -1,0 +1,181 @@
+"""Vector fast path vs generator engine: exact equivalence.
+
+The contract of :func:`repro.simulator.run_spmd_vector` is *bit
+identity*: for every algorithm with a vector port, running it through
+the vector engine must produce exactly the same clocks, trace
+(phases, work items, labels, measured times) and per-rank results as
+the per-rank generator engine — same machine seed, same draws, same
+floating point.  These tests enforce that across machines, processor
+counts and seeds, plus property-style sweeps over randomly drawn
+configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import apsp, bitonic, matmul
+from repro.core.errors import SimulationError
+from repro.machines import CM5, GCel, MasParMP1, T800Grid
+from repro.simulator.vector import resolve_engine
+
+MACHINES = {
+    "maspar": MasParMP1,
+    "gcel": GCel,
+    "cm5": CM5,
+    "t800": T800Grid,
+}
+
+
+def fresh(name: str, seed: int):
+    return MACHINES[name](seed=seed)
+
+
+def assert_runs_identical(g, v):
+    """Every observable of the two runs must match exactly."""
+    assert g.time_us == v.time_us
+    assert np.array_equal(g.clocks, v.clocks)
+    assert len(g.returns) == len(v.returns)
+    for a, b in zip(g.returns, v.returns):
+        assert np.array_equal(np.asarray(a), np.asarray(b))
+    assert len(g.trace.supersteps) == len(v.trace.supersteps)
+    for a, b in zip(g.trace.supersteps, v.trace.supersteps):
+        assert a.label == b.label
+        assert a.measured_us == b.measured_us
+        assert a.work == b.work
+        pa, pb = a.phase, b.phase
+        assert pa.stagger == pb.stagger
+        for field in ("src", "dst", "count", "msg_bytes", "step"):
+            assert np.array_equal(getattr(pa, field), getattr(pb, field)), \
+                f"phase field {field} differs in superstep {a.label!r}"
+
+
+def both(run_fn, machine_name, machine_seed, *args, **kwargs):
+    g = run_fn(fresh(machine_name, machine_seed), *args,
+               engine="generator", **kwargs)
+    v = run_fn(fresh(machine_name, machine_seed), *args,
+               engine="vector", **kwargs)
+    return g, v
+
+
+class TestApspEquivalence:
+    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("N,P", [(32, 16), (16, 64)])
+    def test_machines_and_regimes(self, machine, N, P):
+        # (32, 16): M >= sqrt(P) scatter+allgather regime;
+        # (16, 64): M < sqrt(P) scatter+doubling regime
+        g, v = both(apsp.run, machine, 3, N, P=P, seed=1)
+        assert_runs_identical(g, v)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_seeds(self, seed):
+        g, v = both(apsp.run, "maspar", seed, 32, P=64, seed=seed)
+        assert_runs_identical(g, v)
+
+    def test_result_is_correct(self):
+        v = apsp.run(fresh("cm5", 0), 32, P=16, seed=5, engine="vector")
+        D = v.inputs
+        got = apsp.assemble(16, 32, v.returns)
+        assert np.array_equal(got, apsp.reference_apsp(D))
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(machine=st.sampled_from(["maspar", "gcel", "cm5"]),
+           side=st.sampled_from([2, 4]),
+           mult=st.sampled_from([1, 2, 4, 8]),  # M < side needs a power of 2
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_sweep(self, machine, side, mult, seed):
+        N, P = side * mult, side * side
+        g, v = both(apsp.run, machine, seed, N, P=P, seed=seed)
+        assert_runs_identical(g, v)
+
+
+class TestBitonicEquivalence:
+    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("variant", bitonic.VARIANTS)
+    def test_machines_and_variants(self, machine, variant):
+        g, v = both(bitonic.run, machine, 11, 24, variant=variant, P=64,
+                    seed=2)
+        assert_runs_identical(g, v)
+
+    def test_sync_every_chunking(self):
+        # M > sync_every forces the multi-superstep chunked exchanges
+        g, v = both(bitonic.run, "gcel", 5, 300, variant="bsp-sync", P=16,
+                    seed=3, sync_every=128)
+        assert_runs_identical(g, v)
+
+    def test_group_words(self):
+        g, v = both(bitonic.run, "maspar", 1, 32, variant="bsp", P=256,
+                    seed=0, group_words=4)
+        assert_runs_identical(g, v)
+
+    def test_result_is_sorted(self):
+        v = bitonic.run(fresh("maspar", 0), 16, variant="bsp", P=64,
+                        seed=9, engine="vector")
+        assert bitonic.is_globally_sorted(v.returns)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(machine=st.sampled_from(["maspar", "gcel", "cm5"]),
+           variant=st.sampled_from(bitonic.VARIANTS),
+           log_p=st.integers(min_value=1, max_value=5),
+           M=st.integers(min_value=1, max_value=48),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_sweep(self, machine, variant, log_p, M, seed):
+        g, v = both(bitonic.run, machine, seed, M, variant=variant,
+                    P=1 << log_p, seed=seed)
+        assert_runs_identical(g, v)
+
+
+class TestMatmulEquivalence:
+    @pytest.mark.parametrize("machine", ["gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("variant", matmul.VARIANTS)
+    def test_machines_and_variants(self, machine, variant):
+        g, v = both(matmul.run, machine, 13, 48, variant=variant, P=64,
+                    seed=4)
+        assert_runs_identical(g, v)
+
+    def test_simd_self_sends(self):
+        # SIMD PEs execute the router op for their own block too; the
+        # vector port must keep those self-messages in the phase
+        g, v = both(matmul.run, "maspar", 0, 100, variant="bsp", P=1000,
+                    seed=0)
+        assert_runs_identical(g, v)
+
+    def test_result_is_correct(self):
+        v = matmul.run(fresh("cm5", 0), 64, variant="bsp-staggered",
+                       seed=6, engine="vector")
+        A, B = v.inputs
+        got = matmul.assemble(v.setup, v.returns)
+        assert np.array_equal(got, matmul.assemble(
+            v.setup, matmul.run(fresh("cm5", 0), 64,
+                                variant="bsp-staggered", seed=6,
+                                engine="generator").returns))
+        assert np.allclose(got, A @ B)
+
+    def test_layout_variants_fall_back(self):
+        with pytest.raises(SimulationError, match="vector"):
+            matmul.run(fresh("cm5", 0), 64, variant="bsp-2d",
+                       engine="vector")
+        # auto silently picks the generator engine for layout variants
+        r = matmul.run(fresh("cm5", 0), 64, variant="bsp-2d", engine="auto")
+        assert r.time_us > 0
+
+
+class TestResolveEngine:
+    def test_auto_prefers_vector(self):
+        assert resolve_engine("auto") == "vector"
+        assert resolve_engine("auto", vector_ok=False) == "generator"
+
+    def test_explicit(self):
+        assert resolve_engine("generator") == "generator"
+        assert resolve_engine("vector") == "vector"
+
+    def test_unknown_engine(self):
+        with pytest.raises(SimulationError, match="unknown engine"):
+            resolve_engine("turbo")
+
+    def test_vector_unsupported_raises(self):
+        with pytest.raises(SimulationError):
+            resolve_engine("vector", vector_ok=False)
