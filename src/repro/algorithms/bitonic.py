@@ -36,7 +36,8 @@ from ..simulator.context import ProcContext
 from ..simulator.vector import VectorContext, resolve_engine
 from .local import merge_keep, radix_sort
 
-__all__ = ["run", "bitonic_program", "bitonic_vector_program", "VARIANTS"]
+__all__ = ["run", "bitonic_program", "bitonic_vector_program",
+           "bitonic_sort_vector", "VARIANTS"]
 
 VARIANTS = ("bsp", "bsp-nosync", "bsp-sync", "bpram")
 
@@ -143,14 +144,16 @@ def _merge_keep_rows(ctx: VectorContext, mine: np.ndarray,
     return np.where(keep_min[:, None], both[:, :M], both[:, M:])
 
 
-def bitonic_vector_program(ctx: VectorContext, all_keys: np.ndarray,
-                           variant: str, sync_every: int = 256,
-                           key_bits: int = 32, group_words: int = 1):
-    """Lockstep vector port of :func:`bitonic_program` (all ranks at once).
+def bitonic_sort_vector(ctx: VectorContext, all_keys: np.ndarray,
+                        variant: str, sync_every: int = 256,
+                        key_bits: int = 32, group_words: int = 1):
+    """Lockstep vector core of :func:`bitonic_program` (all ranks at once).
 
     Keys live in one ``(P, M)`` stack; every merge step is one message
     group (the cube permutation ``rank ^ bit``) plus one axis-1 sort —
-    bit-identical supersteps and results.
+    bit-identical supersteps and results.  Returns the sorted stack, so
+    callers (sample sort's splitter phase) can keep working on it; use
+    :func:`bitonic_vector_program` for the per-rank-list form.
     """
     if variant not in VARIANTS:
         raise ExperimentError(f"unknown bitonic variant {variant!r}")
@@ -197,7 +200,18 @@ def bitonic_vector_program(ctx: VectorContext, all_keys: np.ndarray,
 
             theirs = mine[partner]
             mine = _merge_keep_rows(ctx, mine, theirs, keep_min)
-    return [mine[p] for p in range(P)]
+    return mine
+
+
+def bitonic_vector_program(ctx: VectorContext, all_keys: np.ndarray,
+                           variant: str, sync_every: int = 256,
+                           key_bits: int = 32, group_words: int = 1):
+    """Vector port of :func:`bitonic_program`; returns per-rank runs."""
+    mine = yield from bitonic_sort_vector(ctx, all_keys, variant,
+                                           sync_every=sync_every,
+                                           key_bits=key_bits,
+                                           group_words=group_words)
+    return [mine[p] for p in range(ctx.P)]
 
 
 def run(machine: Machine, M: int, *, variant: str = "bsp",

@@ -45,11 +45,12 @@ import numpy as np
 
 from ..core.errors import ExperimentError
 from ..machines.base import Machine
-from ..simulator import RunResult, run_spmd
+from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.vector import VectorContext, resolve_engine
 
-__all__ = ["run", "lu_program", "assemble", "reference_lu",
-           "random_dd_matrix"]
+__all__ = ["run", "lu_program", "lu_vector_program", "assemble",
+           "reference_lu", "random_dd_matrix"]
 
 
 def random_dd_matrix(N: int, rng: np.random.Generator) -> np.ndarray:
@@ -163,17 +164,118 @@ def lu_program(ctx: ProcContext, A: np.ndarray):
     return block
 
 
+def lu_vector_program(ctx: VectorContext, A: np.ndarray):
+    """Lockstep vector port of :func:`lu_program`.
+
+    All blocks live in one ``(P, M, M)`` stack.  The per-``k`` ranks fall
+    into a handful of classes (above/on/below the pivot block row and
+    column), each updated with one uniform slice operation; every element
+    still sees the identical divide / multiply-subtract as the per-rank
+    program, so results, supersteps and work batches are bit-identical.
+    """
+    P = ctx.P
+    N = A.shape[0]
+    side = math.isqrt(P)
+    if side * side != P:
+        raise ExperimentError(f"LU needs a square grid, got P={P}")
+    if N % side:
+        raise ExperimentError(f"LU needs sqrt(P) | N (N={N}, sqrt(P)={side})")
+    M = N // side
+    w = ctx.word_bytes
+    ranks = ctx.ranks()
+    r, c = np.divmod(ranks, side)
+    blocks = (A.astype(float).reshape(side, M, side, M)
+              .transpose(0, 2, 1, 3).reshape(P, M, M).copy())
+    rows = np.arange(side)
+    piv_cache: dict[int, tuple] = {}  # pivot fan-out depends on kb only
+
+    for k in range(N - 1):
+        kb, ki = divmod(k, M)
+        diag = kb * side + kb
+        t = ki + 1
+
+        # ---- pivot word down the processor column of the diagonal ----
+        if side > 1:
+            grp = piv_cache.get(kb)
+            if grp is None:
+                steps = np.arange(1, side)
+                grp = (np.full(side - 1, diag),
+                       ((kb + steps) % side) * side + kb, steps)
+                piv_cache[kb] = grp
+            ctx.put_group(grp[0], grp[1], nbytes=w, count=1, step=grp[2])
+        yield ctx.sync(f"pivot-{k}")
+
+        # ---- multipliers + column broadcast along rows ----
+        # rows below k held by processor row rr: M for rr > kb, M-ki-1
+        # for rr == kb, none above.
+        nr = np.where(rows > kb, M, np.where(rows == kb, M - t, 0))
+        piv = float(blocks[diag, ki, ki])
+        below = rows[nr > 0]
+        if below.size:
+            own = below * side + kb
+            if t < M:
+                blocks[diag, t:, ki] /= piv
+            gt = (rows[rows > kb]) * side + kb
+            blocks[gt, :, ki] /= piv
+            ctx.charge_flops(own, nr[below])
+            if side > 1:
+                for s in range(1, side):
+                    ctx.put_group(own, below * side + (kb + s) % side,
+                                  nbytes=nr[below] * w, count=nr[below],
+                                  step=s)
+        yield ctx.sync(f"col-bcast-{k}")
+
+        # ---- row broadcast along columns ----
+        nc = np.where(rows > kb, M, np.where(rows == kb, M - t, 0))
+        right = rows[nc > 0]  # columns with entries right of k
+        if right.size and side > 1:
+            own = kb * side + right
+            for s in range(1, side):
+                ctx.put_group(own, ((kb + s) % side) * side + right,
+                              nbytes=nc[right] * w, count=nc[right],
+                              step=s)
+        yield ctx.sync(f"row-bcast-{k}")
+
+        # ---- trailing update of every block ----
+        col_all = blocks[r * side + kb][:, :, ki]  # (P, M) multipliers
+        row_all = blocks[kb * side + c][:, ki, :]  # (P, M) pivot row
+        m_full = (r > kb) & (c > kb)
+        if m_full.any():
+            blocks[m_full] -= (col_all[m_full][:, :, None]
+                               * row_all[m_full][:, None, :])
+        if t < M:
+            m_prow = (r == kb) & (c > kb)
+            blocks[m_prow, t:, :] -= (col_all[m_prow][:, t:, None]
+                                      * row_all[m_prow][:, None, :])
+            m_pcol = (r > kb) & (c == kb)
+            blocks[m_pcol, :, t:] -= (col_all[m_pcol][:, :, None]
+                                      * row_all[m_pcol][:, None, t:])
+            blocks[diag, t:, t:] -= np.outer(col_all[diag, t:],
+                                             row_all[diag, t:])
+        nr_p = nr[r]
+        nc_p = nc[c]
+        upd = (nr_p > 0) & (nc_p > 0)
+        if upd.any():
+            ctx.charge_flops(ranks[upd], (nr_p * nc_p)[upd])
+
+    return [blocks[p] for p in range(P)]
+
+
 def run(machine: Machine, N: int, *, P: int | None = None,
-        seed: int = 0) -> RunResult:
+        seed: int = 0, engine: str = "auto") -> RunResult:
     """Factor a random diagonally dominant ``N x N`` matrix."""
     P = P or machine.P
     rng = np.random.default_rng(seed)
     A = random_dd_matrix(N, rng)
 
-    def program(ctx: ProcContext):
-        return lu_program(ctx, A)
+    if resolve_engine(engine) == "vector":
+        result = run_spmd_vector(machine, lu_vector_program, A, P=P,
+                                 label=f"lu-N{N}")
+    else:
+        def program(ctx: ProcContext):
+            return lu_program(ctx, A)
 
-    result = run_spmd(machine, program, P=P, label=f"lu-N{N}")
+        result = run_spmd(machine, program, P=P, label=f"lu-N{N}")
     result.inputs = A  # type: ignore[attr-defined]
     return result
 

@@ -23,8 +23,10 @@ import numpy as np
 
 from ..core.errors import ExperimentError
 from ..simulator.context import ProcContext
+from ..simulator.vector import VectorContext
 
-__all__ = ["grid_side", "alltoall_words", "multiscan"]
+__all__ = ["grid_side", "alltoall_words", "multiscan",
+           "alltoall_words_vector", "multiscan_vector"]
 
 
 def grid_side(P: int) -> int:
@@ -98,6 +100,82 @@ def alltoall_words(ctx: ProcContext, words: np.ndarray, tag: str,
         # block[src_col] = word of <src_row, src_col> for me
         out[src_row * side:(src_row + 1) * side] = block
     return out
+
+
+def alltoall_words_vector(ctx: VectorContext, words: np.ndarray, tag: str,
+                          mode: str = "bpram", cache: dict | None = None):
+    """All-ranks twin of :func:`alltoall_words`.
+
+    ``words[p, j]`` is rank ``p``'s word for rank ``j``; returns the
+    ``(P, P)`` stack ``out`` with ``out[p, src] = words[src, p]`` — the
+    transpose the scalar routing delivers, with bit-identical supersteps
+    (the word values travel unchanged through the grid intermediates, so
+    the result can be formed directly).  ``cache`` (one dict per program
+    run) holds the hoisted group arrays so every all-to-all of the run
+    re-emits the *same* objects and the engine interns the phases.
+    """
+    P = ctx.P
+    w = ctx.word_bytes
+    words = np.asarray(words, dtype=np.int64)
+    if words.shape != (P, P):
+        raise ExperimentError(f"vector alltoall needs a (P, P) word stack, "
+                              f"got shape {words.shape}")
+    cache = cache if cache is not None else {}
+    ranks = cache.get("ranks")
+    if ranks is None:
+        ranks = cache["ranks"] = ctx.ranks()
+
+    if mode == "bsp":
+        for j in range(P):
+            dst = cache.get(("a2a", j))
+            if dst is None:
+                dst = cache[("a2a", j)] = (ranks + j) % P
+            ctx.put_group(ranks, dst, nbytes=w, count=1, step=j)
+        yield ctx.sync(f"{tag}-alltoall")
+        return words.T.copy()
+
+    if mode != "bpram":
+        raise ExperimentError(f"unknown alltoall mode {mode!r}")
+
+    side = grid_side(P)
+    r, c = np.divmod(ranks, side)
+    for s in range(side):
+        dst = cache.get(("A", s))
+        if dst is None:
+            dst = cache[("A", s)] = r * side + (c + s) % side
+        ctx.put_group(ranks, dst, nbytes=side * w, count=1, step=s)
+    yield ctx.sync(f"{tag}-transpose-A", barrier=False)
+
+    for s in range(side):
+        dst = cache.get(("B", s))
+        if dst is None:
+            dst = cache[("B", s)] = ((r + s) % side) * side + c
+        ctx.put_group(ranks, dst, nbytes=side * w, count=1, step=s)
+    yield ctx.sync(f"{tag}-transpose-B", barrier=False)
+    return words.T.copy()
+
+
+def multiscan_vector(ctx: VectorContext, counts: np.ndarray, tag: str,
+                     mode: str = "bpram", cache: dict | None = None):
+    """All-ranks twin of :func:`multiscan`.
+
+    ``counts[p, j]`` = keys rank ``p`` sends to bucket ``j``; returns
+    ``(offsets, totals)`` stacks: ``offsets[p, j]`` is rank ``p``'s write
+    offset within bucket ``j`` and ``totals[p]`` the size of the bucket
+    rank ``p`` owns.
+    """
+    P = ctx.P
+    per_src = yield from alltoall_words_vector(ctx, counts, f"{tag}-counts",
+                                               mode, cache)
+    ctx.charge_us(ctx.ranks(), 0.05 * P)
+    prefix = np.concatenate(
+        [np.zeros((P, 1), dtype=np.int64), np.cumsum(per_src, axis=1)[:, :-1]],
+        axis=1)
+    totals = per_src.sum(axis=1)
+    my_offsets = yield from alltoall_words_vector(ctx, prefix,
+                                                  f"{tag}-offsets", mode,
+                                                  cache)
+    return my_offsets, totals
 
 
 def multiscan(ctx: ProcContext, counts: np.ndarray, tag: str,

@@ -37,13 +37,16 @@ import numpy as np
 
 from ..core.errors import ExperimentError
 from ..machines.base import Machine
-from ..simulator import RunResult, run_spmd
+from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
-from .bitonic import bitonic_program
+from ..simulator.vector import VectorContext, resolve_engine
+from .bitonic import _radix_sort_rows, bitonic_program, bitonic_sort_vector
 from .local import classify_keys, radix_sort
-from .primitives import alltoall_words, grid_side, multiscan
+from .primitives import (alltoall_words, alltoall_words_vector, grid_side,
+                         multiscan, multiscan_vector)
 
-__all__ = ["run", "sample_sort_program", "VARIANTS"]
+__all__ = ["run", "sample_sort_program", "sample_sort_vector_program",
+           "VARIANTS"]
 
 VARIANTS = ("bsp", "bpram", "bpram-staggered")
 
@@ -204,20 +207,150 @@ def _grid_route(ctx: ProcContext, per_dest: list[np.ndarray],
     return received
 
 
+def sample_sort_vector_program(ctx: VectorContext, all_keys: np.ndarray,
+                               variant: str, oversample: int,
+                               key_bits: int = 32, sample_seed: int = 0):
+    """Lockstep vector port of :func:`sample_sort_program`.
+
+    Keys live in a ``(P, M)`` stack.  Each rank's sample draw still uses
+    its own seeded generator (P small draws — identical streams), but
+    everything else is columnar: one stacked bitonic sort, ``(P, P)``
+    count/offset matrices through the vector all-to-alls, and routing as
+    per-step message groups.  The final buckets are value ranges split by
+    the (globally sorted) splitters, so one global key sort split at the
+    per-bucket totals reproduces every rank's radix-sorted bucket —
+    bit-identical supersteps, work and results.
+    """
+    if variant not in VARIANTS:
+        raise ExperimentError(f"unknown sample sort variant {variant!r}")
+    P = ctx.P
+    M = all_keys.shape[1]
+    w = ctx.word_bytes
+    S = oversample
+    if not 1 <= S <= M:
+        raise ExperimentError(
+            f"oversampling ratio S={S} must be in [1, M={M}]")
+    mode = "bsp" if variant == "bsp" else "bpram"
+    bitonic_variant = "bsp" if variant == "bsp" else "bpram"
+    ranks = ctx.ranks()
+    cache: dict = {}  # hoisted group arrays, shared by every all-to-all
+
+    # ---- Phase 1: splitters ----
+    samples = np.empty((P, S), dtype=np.uint64)
+    for p in range(P):
+        rng = np.random.default_rng(sample_seed + 7919 * p)
+        samples[p] = rng.choice(all_keys[p], size=S,
+                                replace=False).astype(np.uint64)
+    ctx.charge_us(ranks, 0.2 * S)  # sample selection
+    sorted_samples = yield from bitonic_sort_vector(ctx, samples,
+                                                    bitonic_variant,
+                                                    key_bits=key_bits)
+    # Rank p now holds the samples of global ranks [p*S, (p+1)*S); its
+    # first sample is the splitter it owns, so the splitter vector is
+    # ascending in p and identical on every rank after the all-to-all.
+    my_splitters = sorted_samples[:, 0].astype(np.int64)
+    spl = yield from alltoall_words_vector(
+        ctx, np.broadcast_to(my_splitters[:, None], (P, P)), "splitters",
+        mode, cache)
+    splitters = spl[0, 1:].astype(np.uint64)  # drop rank-0 sentinel
+
+    # ---- Phase 2: send ----
+    mine = _radix_sort_rows(ctx, all_keys, bits=key_bits)
+    ctx.charge_compare(ranks, mine.shape[1] + splitters.size + 1)
+    bucket_of = np.searchsorted(splitters, mine.ravel(),
+                                side="right").reshape(P, M)
+    counts = np.bincount((ranks[:, None] * P + bucket_of).ravel(),
+                         minlength=P * P).reshape(P, P).astype(np.int64)
+    offsets, totals = yield from multiscan_vector(ctx, counts, "scan",
+                                                 mode, cache)
+
+    if variant == "bsp":
+        for s in range(1, P):
+            dst = (ranks + s) % P
+            sizes = counts[ranks, dst]
+            m = sizes > 0
+            if m.any():
+                ctx.put_group(ranks[m], dst[m], nbytes=sizes[m] * w,
+                              count=sizes[m], step=s)
+        yield ctx.sync("route-keys")
+    elif variant == "bpram-staggered":
+        for s in range(1, P):
+            dst = (ranks + s) % P
+            sizes = counts[ranks, dst]
+            m = sizes > 0
+            if m.any():
+                ctx.put_group(ranks[m], dst[m], nbytes=sizes[m] * w,
+                              count=1, step=s)
+        ctx.charge_copy(ranks, M)  # pack keys per destination
+        yield ctx.sync("route-keys-staggered", barrier=False)
+    else:  # bpram: two-phase padded grid routing
+        yield from _grid_route_vector(ctx, M, cache)
+
+    # ---- Phase 3: sort buckets locally ----
+    bucket_sizes = totals  # keys headed for each rank's bucket
+    ctx.charge_sort(ranks, bucket_sizes, bits=key_bits)
+    # Buckets are contiguous value ranges (ties broken consistently by
+    # value), so one global sort split at the totals equals each rank's
+    # radix-sorted bucket.
+    srt = np.sort(mine.ravel())
+    bounds = np.concatenate(([0], np.cumsum(bucket_sizes)))
+    return [srt[bounds[p]:bounds[p + 1]] for p in range(P)]
+
+
+def _grid_route_vector(ctx: VectorContext, M: int, cache: dict):
+    """All-ranks twin of :func:`_grid_route` (supersteps and work only —
+    the final buckets are reconstructed by value in the caller)."""
+    P = ctx.P
+    w = ctx.word_bytes
+    side = grid_side(P)
+    ranks = cache["ranks"]
+    half_bytes = max(w, -(-PAD * M * w // side))
+    cap = max(1, -(-PAD * M // side))
+
+    # Phase A: route by destination column (two padded halves per step);
+    # the dst arrays are the transpose-A/B patterns already in the cache.
+    for s in range(side):
+        ctx.charge_merge(ranks, cap)  # pack one padded buffer
+        dst = cache[("A", s)]
+        ctx.put_group(ranks, dst, nbytes=half_bytes, count=1, step=s)
+        ctx.put_group(ranks, dst, nbytes=half_bytes, count=1, step=s)
+    yield ctx.sync("route-A", barrier=False)
+
+    # Intermediate: unpack one buffer per source column, then repack and
+    # forward by destination row.
+    for _ in range(side):
+        ctx.charge_merge(ranks, cap)
+    for s in range(side):
+        ctx.charge_merge(ranks, cap)  # repack
+        dst = cache[("B", s)]
+        ctx.put_group(ranks, dst, nbytes=half_bytes, count=1, step=s)
+        ctx.put_group(ranks, dst, nbytes=half_bytes, count=1, step=s)
+    yield ctx.sync("route-B", barrier=False)
+
+    for _ in range(side):
+        ctx.charge_merge(ranks, cap)  # final unpack
+
+
 def run(machine: Machine, M: int, *, variant: str = "bpram",
         oversample: int = 32, P: int | None = None, seed: int = 0,
-        key_bits: int = 32) -> RunResult:
+        key_bits: int = 32, engine: str = "auto") -> RunResult:
     """Sample-sort ``P * M`` random keys on ``machine``."""
     P = P or machine.P
     rng = np.random.default_rng(seed)
     all_keys = rng.integers(0, 1 << key_bits, size=(P, M), dtype=np.uint64)
 
-    def program(ctx: ProcContext):
-        return sample_sort_program(ctx, all_keys[ctx.rank], variant,
-                                   oversample, key_bits=key_bits,
-                                   sample_seed=seed)
+    if resolve_engine(engine) == "vector":
+        result = run_spmd_vector(machine, sample_sort_vector_program,
+                                 all_keys, variant, oversample,
+                                 key_bits=key_bits, sample_seed=seed, P=P,
+                                 label=f"samplesort-{variant}-M{M}")
+    else:
+        def program(ctx: ProcContext):
+            return sample_sort_program(ctx, all_keys[ctx.rank], variant,
+                                       oversample, key_bits=key_bits,
+                                       sample_seed=seed)
 
-    result = run_spmd(machine, program, P=P,
-                      label=f"samplesort-{variant}-M{M}")
+        result = run_spmd(machine, program, P=P,
+                          label=f"samplesort-{variant}-M{M}")
     result.inputs = all_keys  # type: ignore[attr-defined]
     return result

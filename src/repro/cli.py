@@ -98,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "under <cache-dir>/profiles")
     bench.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="only used to locate the profiles directory")
+    bench.add_argument("--compare", action="store_true",
+                       help="do not run anything: diff the last two runs "
+                            "of the trajectory file (--out), print a "
+                            "per-experiment speedup table, exit 3 on "
+                            "regressions past --tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       metavar="FRAC",
+                       help="--compare regression threshold as a "
+                            "fraction of the previous time (default "
+                            "0.25 = 25%% slower)")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -224,10 +234,23 @@ def _run_profiled(ids: list[str], *, scale: float, seed: int,
 
 def _cmd_bench(ids: list[str], *, quick: bool, scale: float, seed: int,
                out: str, label: str, top: int, budgets: list[str],
-               profile: bool, cache_dir: str | None) -> int:
+               profile: bool, cache_dir: str | None, compare: bool = False,
+               tolerance: float = 0.25) -> int:
     from .core.errors import ExperimentError
-    from .runner import (append_trajectory, check_budgets, default_cache_root,
-                         parse_budgets, render_bench, run_bench, QUICK_IDS)
+    from .runner import (append_trajectory, check_budgets, compare_last_runs,
+                         default_cache_root, parse_budgets, render_bench,
+                         run_bench, QUICK_IDS)
+
+    if compare:
+        try:
+            table, regressions = compare_last_runs(out, tolerance=tolerance)
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(table)
+        for msg in regressions:
+            print(msg, file=sys.stderr)
+        return 3 if regressions else 0
 
     try:
         budget_map = parse_budgets(budgets)
@@ -380,7 +403,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_bench(args.ids, quick=args.quick, scale=args.scale,
                           seed=args.seed, out=args.out, label=args.label,
                           top=args.top, budgets=args.budget,
-                          profile=args.profile, cache_dir=args.cache_dir)
+                          profile=args.profile, cache_dir=args.cache_dir,
+                          compare=args.compare, tolerance=args.tolerance)
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir)
     if args.command == "table1":

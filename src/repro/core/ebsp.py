@@ -70,6 +70,91 @@ class EBSP(CostModel):
             return sum(self.step_cost(sub) for sub in phase.split_steps())
         return self.step_cost(phase)
 
+    def _comm_costs(self, phases: list[CommPhase]) -> list[float]:
+        """Columnar unbalanced-cost pricing of many phases (bit-identical).
+
+        One sort by ``(phase, step tag)`` makes every scheduled sub-step a
+        contiguous run; word totals per ``(sub-step, endpoint)`` are exact
+        integer segment sums, and the ``T_unb`` law is evaluated
+        elementwise in the same operation order as :meth:`step_cost`.
+        """
+        if (type(self).comm_cost is not EBSP.comm_cost
+                or type(self).step_cost is not EBSP.step_cost
+                or len({ph.P for ph in phases}) > 1):
+            return super()._comm_costs(phases)
+        n = len(phases)
+        out = [0.0] * n
+        w = self.params.w
+        srcs, dsts, words_l, steps, pids = [], [], [], [], []
+        for i, ph in enumerate(phases):
+            if not ph.is_empty:
+                srcs.append(ph.src)
+                dsts.append(ph.dst)
+                words_l.append(-(-ph.msg_bytes // w) * ph.count)
+                steps.append(ph.step)
+                pids.append(np.full(ph.src.size, i, dtype=np.int64))
+        if not srcs:
+            return out
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        words = np.concatenate(words_l)
+        step = np.concatenate(steps)
+        pid = np.concatenate(pids)
+        P = phases[0].P
+
+        smin = int(step.min())
+        srange = int(step.max()) - smin + 1
+        key = pid * srange + (step - smin)
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        s_arr = src[order]
+        d_arr = dst[order]
+        w_arr = words[order]
+        spid = pid[order]
+        new_seg = np.concatenate(([True], np.diff(skey) != 0))
+        starts = np.nonzero(new_seg)[0]
+        nseg = starts.size
+        seg_id = np.cumsum(new_seg) - 1
+        seg_pid = spid[starts]
+
+        def _endpoint_stats(ep: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """Per sub-step: (max summed words at one endpoint, #distinct
+            endpoints) — exact int64 sums, order-independent."""
+            o2 = np.argsort(seg_id * P + ep, kind="stable")
+            k2 = (seg_id * P + ep)[o2]
+            w2 = w_arr[o2]
+            run_starts = np.nonzero(
+                np.concatenate(([True], np.diff(k2) != 0)))[0]
+            run_sum = np.add.reduceat(w2, run_starts)
+            run_seg = k2[run_starts] // P
+            srs = np.nonzero(np.concatenate(([True], np.diff(run_seg) != 0)))[0]
+            mx = np.zeros(nseg, dtype=np.int64)
+            cnt = np.zeros(nseg, dtype=np.int64)
+            mx[run_seg[srs]] = np.maximum.reduceat(run_sum, srs)
+            cnt[run_seg[srs]] = np.diff(np.concatenate((srs, [run_seg.size])))
+            return mx, cnt
+
+        sent_max, senders = _endpoint_stats(s_arr)
+        recv_max, _ = _endpoint_stats(d_arr)
+
+        s_max = sent_max.astype(np.float64)
+        senders_f = senders.astype(np.float64)
+        per_step = (self.unb.a * senders_f + self.unb.b * np.sqrt(senders_f)
+                    + self.unb.c)
+        safe = np.where(s_max > 0, s_max, 1.0)
+        h_r_step = np.ceil(recv_max.astype(np.float64) / safe)
+        per_step = per_step + self.params.g * (h_r_step - 1.0)
+        seg_cost = np.where(s_max > 0, s_max * per_step, 0.0)
+
+        phase_bounds = np.nonzero(
+            np.concatenate(([True], np.diff(seg_pid) != 0)))[0]
+        phase_ends = np.concatenate((phase_bounds[1:], [nseg]))
+        costs_l = seg_cost.tolist()
+        for pi, lo, hi in zip(seg_pid[phase_bounds].tolist(),
+                              phase_bounds.tolist(), phase_ends.tolist()):
+            out[pi] = sum(costs_l[lo:hi])
+        return out
+
 
 class ScatterAwareBSP(BSP):
     """BSP with a cheaper bandwidth factor for scatter-like phases.
@@ -150,3 +235,40 @@ class LocalityAwareBSP(BSP):
         per_send = np.bincount(phase.src, weights=cost, minlength=phase.P)
         per_recv = np.bincount(phase.dst, weights=cost, minlength=phase.P)
         return float(np.maximum(per_send, per_recv).max()) + self.params.L
+
+    def _comm_costs(self, phases: list[CommPhase]) -> list[float]:
+        """Columnar distance-weighted pricing (bit-identical to the
+        scalar path: per-group costs are elementwise and the combined-key
+        bincounts accumulate in the same group order)."""
+        if (type(self).comm_cost is not LocalityAwareBSP.comm_cost
+                or len({ph.P for ph in phases}) > 1):
+            return super()._comm_costs(phases)
+        n = len(phases)
+        out = [0.0] * n
+        w = self.params.w
+        srcs, dsts, words_l, pids = [], [], [], []
+        for i, ph in enumerate(phases):
+            if not ph.is_empty:
+                srcs.append(ph.src)
+                dsts.append(ph.dst)
+                words_l.append(-(-ph.msg_bytes // w) * ph.count)
+                pids.append(np.full(ph.src.size, i, dtype=np.int64))
+        if not srcs:
+            return out
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        words = np.concatenate(words_l)
+        pid = np.concatenate(pids)
+        P = phases[0].P
+        sr, sc = np.divmod(src, self.side)
+        dr, dc = np.divmod(dst, self.side)
+        hops = np.abs(sr - dr) + np.abs(sc - dc)
+        cost = words * (self.g0 + self.g_hop * hops)
+        per_send = np.bincount(pid * P + src, weights=cost,
+                               minlength=n * P).reshape(n, P)
+        per_recv = np.bincount(pid * P + dst, weights=cost,
+                               minlength=n * P).reshape(n, P)
+        total = np.maximum(per_send, per_recv).max(axis=1) + self.params.L
+        for i in np.unique(pid).tolist():
+            out[i] = float(total[i])
+        return out

@@ -112,6 +112,27 @@ class CommPhase:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def _trusted(cls, P: int, src: np.ndarray, dst: np.ndarray, count: np.ndarray,
+                 msg_bytes: np.ndarray, step: np.ndarray, stagger: bool) -> "CommPhase":
+        """Build a phase from arrays already known to be valid ``int64``.
+
+        Skips ``__post_init__`` conversion/validation — for internal use on
+        hot paths only (engine-built phases whose groups were validated at
+        ``put``/``put_group`` time, and sub-phases sliced from a validated
+        parent).  Semantically identical to the public constructor.
+        """
+        self = object.__new__(cls)
+        d = object.__setattr__
+        d(self, "P", P)
+        d(self, "src", src)
+        d(self, "dst", dst)
+        d(self, "count", count)
+        d(self, "msg_bytes", msg_bytes)
+        d(self, "step", step)
+        d(self, "stagger", stagger)
+        return self
+
+    @classmethod
     def empty(cls, P: int) -> "CommPhase":
         z = np.zeros(0, dtype=np.int64)
         return cls(P=P, src=z, dst=z.copy(), count=z.copy(), msg_bytes=z.copy())
@@ -137,7 +158,7 @@ class CommPhase:
     def n_groups(self) -> int:
         return int(self.src.size)
 
-    @property
+    @cached_property
     def is_empty(self) -> bool:
         return self.src.size == 0 or int(self.count.sum()) == 0
 
@@ -251,17 +272,39 @@ class CommPhase:
         """
         if cluster_size <= 0:
             raise TraceError("cluster_size must be positive")
-        n_clusters = -(-self.P // cluster_size)
-        return np.bincount(self.dst // cluster_size, weights=self.count,
-                           minlength=n_clusters).astype(np.int64)
+        cache = self.__dict__.setdefault("_cluster_loads_cache", {})
+        loads = cache.get(cluster_size)
+        if loads is None:
+            n_clusters = -(-self.P // cluster_size)
+            loads = np.bincount(self.dst // cluster_size, weights=self.count,
+                                minlength=n_clusters).astype(np.int64)
+            cache[cluster_size] = loads
+        return loads
 
     # ------------------------------------------------------------------
     # Schedule steps
     # ------------------------------------------------------------------
     @cached_property
+    def _step_order(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One stable sort of ``step`` shared by every schedule analysis.
+
+        Returns ``(order, sorted_steps, bounds)`` where ``order`` is the
+        stable argsort of ``step``, ``sorted_steps = step[order]`` and
+        ``bounds`` are the piece boundaries between distinct tags.
+        """
+        order = np.argsort(self.step, kind="stable")
+        sorted_steps = self.step[order]
+        bounds = np.nonzero(np.diff(sorted_steps))[0] + 1
+        return order, sorted_steps, bounds
+
+    @cached_property
     def step_ids(self) -> np.ndarray:
         """Sorted unique schedule sub-step tags present in the phase."""
-        return np.unique(self.step)
+        order, sorted_steps, bounds = self._step_order
+        if sorted_steps.size == 0:
+            return sorted_steps
+        starts = np.concatenate(([0], bounds))
+        return sorted_steps[starts]
 
     @property
     def n_steps(self) -> int:
@@ -275,16 +318,22 @@ class CommPhase:
         """
         if self.n_steps <= 1:
             return [self]
-        order = np.argsort(self.step, kind="stable")
-        sorted_steps = self.step[order]
-        bounds = np.nonzero(np.diff(sorted_steps))[0] + 1
+        cached = self.__dict__.get("_split_cache")
+        if cached is not None:
+            return cached
+        order, sorted_steps, bounds = self._step_order
         pieces = np.split(order, bounds)
-        return [
-            CommPhase(P=self.P, src=self.src[idx], dst=self.dst[idx],
-                      count=self.count[idx], msg_bytes=self.msg_bytes[idx],
-                      step=self.step[idx], stagger=self.stagger)
-            for idx in pieces
-        ]
+        subs = []
+        for idx in pieces:
+            sub = CommPhase._trusted(P=self.P, src=self.src[idx], dst=self.dst[idx],
+                                     count=self.count[idx], msg_bytes=self.msg_bytes[idx],
+                                     step=self.step[idx], stagger=self.stagger)
+            # Each piece holds exactly one tag — seed the derived caches so
+            # the children never re-sort what the parent already knows.
+            sub.__dict__["step_ids"] = sub.step[:1]
+            subs.append(sub)
+        self.__dict__["_split_cache"] = subs
+        return subs
 
 
 def merge_phases(phases: list[CommPhase]) -> CommPhase:
@@ -309,7 +358,9 @@ def merge_phases(phases: list[CommPhase]) -> CommPhase:
         tags[tags < 0] = 0
         steps.append(tags + offset)
         offset += int(tags.max(initial=0)) + 1
-    return CommPhase(
+    # The inputs are validated phases and the tag offsets keep steps >= 0,
+    # so the concatenation can skip re-validation.
+    return CommPhase._trusted(
         P=P,
         src=np.concatenate(srcs),
         dst=np.concatenate(dsts),

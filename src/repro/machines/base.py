@@ -23,7 +23,58 @@ from ..core.params import ModelParams
 from ..core.relations import CommPhase
 from ..core.work import Work, nominal_time, nominal_time_batch
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "CommPricer", "unique_phases"]
+
+
+def unique_phases(phases: "list[CommPhase]") -> "tuple[list[CommPhase], list[int]]":
+    """Deduplicate a phase sequence by object identity.
+
+    The vector engine *interns* repeated communication patterns — a
+    superstep built from the same message-group arrays as an earlier one
+    reuses the earlier :class:`CommPhase` object — so iterative
+    algorithms (APSP's broadcasts, bitonic's merge schedule) hand the
+    pricers long sequences with only a handful of distinct patterns.
+    Deterministic per-phase analysis only needs to run once per distinct
+    object; measurement noise is drawn at advance time regardless.
+
+    Returns ``(uniq, index)`` with ``uniq[index[i]] is phases[i]``.
+    Sound because the caller keeps ``phases`` (and hence every id) alive.
+    """
+    first: dict[int, int] = {}
+    uniq: list[CommPhase] = []
+    index: list[int] = []
+    for ph in phases:
+        j = first.get(id(ph))
+        if j is None:
+            j = len(uniq)
+            first[id(ph)] = j
+            uniq.append(ph)
+        index.append(j)
+    return uniq, index
+
+
+class CommPricer:
+    """Prices a fixed sequence of communication phases, one call per phase.
+
+    Contract: for a fresh machine, calling ``pricer.comm_time(i, clocks,
+    barrier=...)`` for ``i = 0 .. n-1`` *in order* must be bit-identical —
+    returned clock arrays and machine RNG stream alike — to calling
+    ``machine.comm_time(phases[i], clocks, barrier=...)`` in the same
+    order.  This default implementation *is* that scalar loop, so it
+    doubles as the equivalence oracle; machines override
+    :meth:`Machine.comm_time_batch` to return subclasses that hoist the
+    deterministic pattern analysis across the whole sequence as stacked
+    arrays and only draw per-phase measurement noise at advance time
+    (which keeps the stream order intact).
+    """
+
+    def __init__(self, machine: "Machine", phases: "list[CommPhase]"):
+        self.machine = machine
+        self.phases = phases
+
+    def comm_time(self, i: int, clocks: np.ndarray, *,
+                  barrier: bool = True) -> np.ndarray:
+        return self.machine.comm_time(self.phases[i], clocks, barrier=barrier)
 
 
 class Machine(ABC):
@@ -97,10 +148,18 @@ class Machine(ABC):
         """
         if clocks.shape != (phase.P,):
             raise SimulationError("clock array does not match phase P")
-        start = float(clocks.max())
-        total = start
+        total = float(clocks.max())
         if not phase.is_empty:
             total += self.phase_cost(phase)
+        return self._advance(phase, clocks, total, barrier)
+
+    def _advance(self, phase: CommPhase, clocks: np.ndarray, total: float,
+                 barrier: bool) -> np.ndarray:
+        """Shared clock-advance step of :meth:`comm_time`.
+
+        ``total`` is start time plus (already jittered) phase cost; batched
+        pricers reuse this after computing the cost their own way.
+        """
         if barrier and not self.simd:
             total += self.barrier_time()
         if barrier or self.simd or phase.is_empty:
@@ -110,6 +169,17 @@ class Machine(ABC):
         mask = (phase.sends_per_proc > 0) | (phase.recvs_per_proc > 0)
         new[mask] = total
         return new
+
+    def comm_time_batch(self, phases: "list[CommPhase]") -> CommPricer:
+        """A pricer for a whole run's communication phases.
+
+        The default delegates to :meth:`comm_time` phase by phase (the
+        scalar oracle).  Machines override this to precompute the
+        deterministic pattern analysis for every phase at once; the
+        returned pricer's calls remain bit-identical to the scalar path
+        (see :class:`CommPricer`).
+        """
+        return CommPricer(self, phases)
 
     # ------------------------------------------------------------------
     def jitter(self, scale: float = 0.01) -> float:

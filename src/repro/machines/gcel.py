@@ -28,7 +28,7 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.params import ModelParams, paper_params
 from ..core.relations import CommPhase
-from .base import Machine
+from .base import CommPricer, Machine, unique_phases
 
 __all__ = ["GCel"]
 
@@ -142,4 +142,93 @@ class GCel(Machine):
         participants = (phase.sends_per_proc > 0) | (phase.recvs_per_proc > 0)
         steps = int(phase.sends_per_proc.max(initial=0))
         new += self._drift_extra(steps, participants)
+        return np.maximum(new, clocks)
+
+    def comm_time_batch(self, phases: list[CommPhase]) -> CommPricer:
+        if len({ph.P for ph in phases}) > 1:
+            return CommPricer(self, phases)  # mixed-P: scalar oracle
+        return _GCelCommPricer(self, phases)
+
+
+class _GCelCommPricer(CommPricer):
+    """Batched GCel pricer.
+
+    ``_per_proc_times`` is deterministic, so the per-node software +
+    transit times of *every* phase are computed up front from one
+    concatenation of all groups (per-group costs elementwise, per-node
+    sums through combined-key bincounts, bisection words through exact
+    integer segment sums).  The advance step mirrors ``GCel.comm_time``
+    bit for bit, drawing its jitter/drift noise per phase in call order.
+    """
+
+    def __init__(self, machine: GCel, phases: list[CommPhase]):
+        super().__init__(machine, phases)
+        uniq, self._idx = unique_phases(phases)
+        self._times = self._prep(uniq)
+
+    def _prep(self, uniq: list[CommPhase]) -> np.ndarray:
+        m: GCel = self.machine
+        # the per-node times vectors are phase-P wide (a run may use a
+        # sub-partition of the machine, like the scalar bincounts do)
+        P = uniq[0].P if uniq else m.P
+        n = len(uniq)
+        srcs, dsts, counts, sizes, pids = [], [], [], [], []
+        for i, ph in enumerate(uniq):
+            if ph.n_groups:
+                srcs.append(ph.src)
+                dsts.append(ph.dst)
+                counts.append(ph.count)
+                sizes.append(ph.msg_bytes)
+                pids.append(np.full(ph.src.size, i, dtype=np.int64))
+        times = np.zeros((n, P))
+        if not srcs:
+            return times
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        count = np.concatenate(counts)
+        mb = np.concatenate(sizes)
+        pid = np.concatenate(pids)
+
+        blocky = mb >= m.block_threshold
+        extra = np.maximum(0, mb - m.nominal.w)
+        send_cost = np.where(blocky,
+                             count * (m.ell_send + m.sigma_send * mb),
+                             count * (m.c_send + m.fine_byte * extra))
+        recv_cost = np.where(blocky,
+                             count * (m.ell_recv + m.sigma_recv * mb),
+                             count * (m.c_recv + m.fine_byte * extra))
+        times = np.bincount(pid * P + src, weights=send_cost,
+                            minlength=n * P).reshape(n, P)
+        times += np.bincount(pid * P + dst, weights=recv_cost,
+                             minlength=n * P).reshape(n, P)
+        if m.side:
+            crossing = ((src % m.side < m.side // 2)
+                        != (dst % m.side < m.side // 2))
+            words = count * -(-mb // m.nominal.w)
+            wcross = words * crossing  # int64: segment sums are exact
+            starts = np.nonzero(np.concatenate(([True], np.diff(pid) != 0)))[0]
+            cross_words = np.add.reduceat(wcross, starts).astype(np.float64)
+            times[pid[starts]] += (m.hop_word * cross_words / m.side)[:, None]
+        return times
+
+    def comm_time(self, i: int, clocks: np.ndarray, *,
+                  barrier: bool = True) -> np.ndarray:
+        m: GCel = self.machine
+        phase = self.phases[i]
+        if clocks.shape != (phase.P,):
+            raise SimulationError("clock array does not match phase P")
+        if phase.is_empty:
+            if barrier:
+                return np.full(phase.P, float(clocks.max()) + m.barrier_us)
+            return clocks.copy()
+        times = self._times[self._idx[i]]
+        if barrier:
+            total = float(clocks.max()) + float(times.max()) + m.barrier_us
+            return np.full(phase.P, total)
+        wait = clocks.copy()
+        np.maximum.at(wait, phase.dst, clocks[phase.src])
+        new = wait + times * (1.0 + m.rng.normal(0.0, 0.01, size=phase.P))
+        participants = (phase.sends_per_proc > 0) | (phase.recvs_per_proc > 0)
+        steps = int(phase.sends_per_proc.max(initial=0))
+        new += m._drift_extra(steps, participants)
         return np.maximum(new, clocks)

@@ -40,7 +40,7 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.params import ModelParams, UnbalancedCost, paper_params
 from ..core.relations import CommPhase
-from .base import Machine
+from .base import CommPricer, Machine, unique_phases
 
 __all__ = ["MasParMP1"]
 
@@ -192,3 +192,168 @@ class MasParMP1(Machine):
     def barrier_time(self) -> float:
         # The ACU keeps PEs in lockstep; synchronisation is free.
         return 0.0
+
+    def comm_time_batch(self, phases: list[CommPhase]) -> CommPricer:
+        return _MasParCommPricer(self, phases)
+
+
+class _MasParCommPricer(CommPricer):
+    """Batched MasPar pricer: one columnar analysis for a whole run.
+
+    Almost every sub-step the engines emit is *regular*: each PE sends at
+    most one group and all groups carry the same count, so the single-port
+    schedule of :meth:`MasParMP1._sequence_cost` degenerates to one step
+    segment repeated ``count`` times.  For those sub-steps the router cost
+    is a closed-form function of per-sub-step reductions (active senders,
+    max message size, cube test, receive fan-in, cluster loads), all of
+    which this pricer computes for *every* phase of the run in a handful
+    of NumPy passes.  Irregular phases fall back to the scalar
+    ``phase_cost``.  Measurement noise is drawn at advance time, one
+    sub-step at a time in schedule order, so the RNG stream is consumed
+    exactly as the scalar path consumes it.
+    """
+
+    def __init__(self, machine: MasParMP1, phases: list[CommPhase]):
+        super().__init__(machine, phases)
+        uniq, self._idx = unique_phases(phases)
+        self._plans: list = [None] * len(uniq)
+        self._prep(uniq)
+
+    def _prep(self, uniq: list[CommPhase]) -> None:
+        m: MasParMP1 = self.machine
+        P = m.P
+        srcs, dsts, counts, sizes, steps, pids = [], [], [], [], [], []
+        for i, ph in enumerate(uniq):
+            if ph.is_empty:
+                self._plans[i] = ("empty",)
+                continue
+            srcs.append(ph.src)
+            dsts.append(ph.dst)
+            counts.append(ph.count)
+            sizes.append(ph.msg_bytes)
+            steps.append(ph.step)
+            pids.append(np.full(ph.src.size, i, dtype=np.int64))
+        if not srcs:
+            return
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        count = np.concatenate(counts)
+        msg_bytes = np.concatenate(sizes)
+        step = np.concatenate(steps)
+        pid = np.concatenate(pids)
+
+        # Sort groups by (phase, step tag): sub-steps become contiguous
+        # runs, in the same order the scalar split_steps() visits them.
+        smin = int(step.min())
+        srange = int(step.max()) - smin + 1
+        key = pid * srange + (step - smin)
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        s = src[order]
+        d = dst[order]
+        c = count[order]
+        mb = msg_bytes[order]
+        spid = pid[order]
+
+        new_seg = np.concatenate(([True], np.diff(skey) != 0))
+        starts = np.nonzero(new_seg)[0]
+        nseg = starts.size
+        seg_pid = spid[starts]
+        seg_sizes = np.diff(np.concatenate((starts, [skey.size])))
+        seg_id = np.cumsum(new_seg) - 1
+
+        # Per-sub-step reductions -------------------------------------
+        m_max = np.maximum.reduceat(mb, starts)
+        uniform = np.minimum.reduceat(c, starts) == np.maximum.reduceat(c, starts)
+        x = s ^ d
+        xfirst = np.minimum.reduceat(x, starts)
+        cube = ((xfirst == np.maximum.reduceat(x, starts))
+                & (xfirst > 0) & ((xfirst & (xfirst - 1)) == 0))
+
+        # "Every source distinct" test: duplicates show up as equal
+        # neighbours once group keys are sorted by (sub-step, src).
+        k2 = np.sort(seg_id * P + s)
+        distinct = np.ones(nseg, dtype=bool)
+        eq = k2[1:] == k2[:-1]
+        if eq.any():
+            distinct[(k2[1:][eq]) // P] = False
+        fast = uniform & distinct
+
+        # Receive fan-in h_r: the max multiplicity of any destination
+        # among a sub-step's groups (group-level, as in _step_cost).
+        k3 = np.sort(seg_id * P + d)
+        run_starts = np.nonzero(np.concatenate(([True], np.diff(k3) != 0)))[0]
+        run_len = np.diff(np.concatenate((run_starts, [k3.size])))
+        run_seg = k3[run_starts] // P
+        seg_run_starts = np.nonzero(
+            np.concatenate(([True], np.diff(run_seg) != 0)))[0]
+        h_r = np.empty(nseg, dtype=np.int64)
+        h_r[run_seg[seg_run_starts]] = np.maximum.reduceat(run_len, seg_run_starts)
+
+        # Busiest cluster channel load (group-level, matching the `ones`
+        # weights the scalar path passes to _cluster_penalty).
+        n_clusters = P // m.CLUSTER
+        loads = np.bincount(seg_id * n_clusters + d // m.CLUSTER,
+                            minlength=nseg * n_clusters)
+        loads = loads.reshape(nseg, n_clusters).max(axis=1)
+
+        # Deterministic router times, replicating _step_cost op for op —
+        # branchless variants only add exact zeros where the scalar path
+        # skips the addition.
+        active = seg_sizes.astype(np.float64)
+        w = m.nominal.w
+        base = m.unb.a * active + m.unb.b * np.sqrt(active) + m.unb.c
+        t_word = np.where(cube, m.cube_factor * (base - m.unb.c) + m.unb.c, base)
+        t_word = t_word + m.serial_recv * (h_r - 1)
+        t_word = t_word + np.where(m_max > w, m.sigma_block * (m_max - w), 0.0)
+        fair = -(-seg_sizes // n_clusters)
+        excess = loads.astype(np.float64) - fair.astype(np.float64)
+        t_word = t_word + m.cluster_coef * np.maximum(0.0, excess)
+
+        t_blk = m.sigma_block * m_max + m.ell_block
+        t_blk = np.where(cube, t_blk * m.block_cube_factor, t_blk)
+        t_blk = t_blk + (h_r - 1) * (m.sigma_block * m_max + 0.25 * m.ell_block)
+
+        block = m_max > m.block_threshold
+        det = np.where(block, t_blk, t_word)
+        sigma = np.where(block, m.noise / 4, m.noise)
+        reps = np.maximum.reduceat(c, starts)  # uniform on the fast path
+
+        # Assemble per-phase plans: a phase is fast only if every one of
+        # its sub-steps is (whole-phase scalar fallback keeps the RNG
+        # draw order trivially correct).
+        phase_bounds = np.nonzero(
+            np.concatenate(([True], np.diff(seg_pid) != 0)))[0]
+        phase_fast = np.logical_and.reduceat(fast, phase_bounds)
+        phase_ends = np.concatenate((phase_bounds[1:], [nseg]))
+        reps_l = reps.tolist()
+        det_l = det.tolist()
+        sigma_l = sigma.tolist()
+        for pi, lo, hi, ok in zip(seg_pid[phase_bounds].tolist(),
+                                  phase_bounds.tolist(), phase_ends.tolist(),
+                                  phase_fast.tolist()):
+            if ok:
+                self._plans[pi] = ("fast", list(zip(reps_l[lo:hi],
+                                                    det_l[lo:hi],
+                                                    sigma_l[lo:hi])))
+            else:
+                self._plans[pi] = ("scalar",)
+
+    def comm_time(self, i: int, clocks: np.ndarray, *,
+                  barrier: bool = True) -> np.ndarray:
+        m: MasParMP1 = self.machine
+        phase = self.phases[i]
+        if clocks.shape != (phase.P,):
+            raise SimulationError("clock array does not match phase P")
+        total = float(clocks.max())
+        plan = self._plans[self._idx[i]]
+        if plan is None or plan[0] == "scalar":
+            if not phase.is_empty:
+                total += m.phase_cost(phase)
+        elif plan[0] == "fast":
+            cost = 0.0
+            rng = m.rng
+            for reps, det, sig in plan[1]:
+                cost += reps * (det * float(1.0 + rng.normal(0.0, sig)))
+            total += cost
+        return m._advance(phase, clocks, total, barrier)

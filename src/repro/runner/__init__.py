@@ -5,6 +5,7 @@ from .bench import (
     QUICK_IDS,
     append_trajectory,
     check_budgets,
+    compare_last_runs,
     parse_budgets,
     render_bench,
     run_bench,
@@ -19,6 +20,7 @@ __all__ = [
     "QUICK_IDS",
     "append_trajectory",
     "check_budgets",
+    "compare_last_runs",
     "parse_budgets",
     "render_bench",
     "run_bench",

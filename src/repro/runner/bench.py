@@ -14,16 +14,19 @@ fails if any budgeted experiment exceeds its allotted seconds.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 
+import numpy as np
+
 from ..core.errors import ExperimentError
 
 __all__ = ["BenchRecord", "run_bench", "render_bench", "parse_budgets",
-           "QUICK_IDS"]
+           "compare_last_runs", "QUICK_IDS"]
 
 #: the ``--quick`` subset: one experiment per subsystem (calibration,
 #: matmul, sorting, scatter analysis) — small enough for a CI smoke job,
@@ -54,6 +57,11 @@ class BenchRecord:
             "label": self.label,
             "utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "python": platform.python_version(),
+            # environment stamp: trajectory entries are only comparable
+            # within one numpy/host/CPU configuration
+            "numpy": np.__version__,
+            "host": platform.node(),
+            "cpus": os.cpu_count(),
             "scale": self.scale,
             "seed": self.seed,
             "total_s": round(self.total_s, 3),
@@ -143,6 +151,64 @@ def render_bench(record: BenchRecord, *, top: int = 5) -> str:
     for exp_id, err in record.errors.items():
         lines.append(f"ERROR {exp_id}: {err}")
     return "\n".join(lines)
+
+
+def compare_last_runs(path: str | Path, *,
+                      tolerance: float = 0.25) -> tuple[str, list[str]]:
+    """Diff the last two runs of a trajectory file.
+
+    Returns ``(table, regressions)``: a per-experiment speedup table
+    (markdown-friendly, pipe-separated) comparing the latest run against
+    the one before it, and one message per experiment that got slower by
+    more than ``tolerance`` (fractional; 0.25 = 25% slower).  Tiny
+    absolute times are exempt from flagging — below 0.2s the host timer
+    noise swamps any real change.
+    """
+    if tolerance < 0:
+        raise ExperimentError(f"tolerance must be >= 0, got {tolerance}")
+    p = Path(path)
+    if not p.exists():
+        raise ExperimentError(f"no trajectory file {p}")
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"unreadable trajectory file {p}: {exc}")
+    runs = doc.get("runs", []) if isinstance(doc, dict) else []
+    if len(runs) < 2:
+        raise ExperimentError(
+            f"{p} holds {len(runs)} run(s); --compare needs two")
+    prev, last = runs[-2], runs[-1]
+    prev_t = prev.get("experiments", {})
+    last_t = last.get("experiments", {})
+
+    def _tag(run: dict) -> str:
+        return run.get("label") or run.get("utc", "?")
+
+    lines = [f"| experiment | {_tag(prev)} (s) | {_tag(last)} (s) "
+             "| speedup |",
+             "|---|---:|---:|---:|"]
+    regressions: list[str] = []
+    ids = list(prev_t) + [k for k in last_t if k not in prev_t]
+    for exp_id in ids:
+        a, b = prev_t.get(exp_id), last_t.get(exp_id)
+        if a is None or b is None:
+            lines.append(f"| {exp_id} | {'-' if a is None else f'{a:.2f}'} "
+                         f"| {'-' if b is None else f'{b:.2f}'} | - |")
+            continue
+        ratio = a / b if b > 0 else float("inf")
+        mark = ""
+        if b > a * (1.0 + tolerance) and b >= 0.2:
+            mark = " ⚠"
+            regressions.append(
+                f"regression: {exp_id} {a:.2f}s -> {b:.2f}s "
+                f"({b / a - 1.0:+.0%} > +{tolerance:.0%} tolerance)")
+        lines.append(f"| {exp_id} | {a:.2f} | {b:.2f} | {ratio:.2f}x{mark} |")
+    total_a = prev.get("total_s", sum(prev_t.values()))
+    total_b = last.get("total_s", sum(last_t.values()))
+    ratio = total_a / total_b if total_b else float("inf")
+    lines.append(f"| **total** | {total_a:.2f} | {total_b:.2f} "
+                 f"| {ratio:.2f}x |")
+    return "\n".join(lines), regressions
 
 
 def check_budgets(record: BenchRecord,

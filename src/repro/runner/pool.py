@@ -13,10 +13,22 @@ seeded by its ``(seed, scale)`` arguments, so a result is a pure function
 of its cache key — parallel and serial runs are bit-identical, and a
 cache hit equals a recomputation.  Workers are separate processes, so
 per-process memoisation (calibration fits) never leaks between runs.
+
+Workers are *persistent*: one forked worker pool lives for the process
+(:func:`warm_pool`), so the interpreter/NumPy import cost is paid once
+per worker rather than once per batch.  Before the pool is built the
+parent pre-fits the standard Table 1 calibrations (``calibration_for``
+is memoised per process); forked workers inherit the warmed memo, so no
+experiment pays the fit cost either (on platforms without ``fork`` a
+per-worker initializer does the same warming).  A memo hit is
+observationally identical to a recomputation — see
+:mod:`repro.calibration.table1` — so pre-warming cannot change results.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -26,7 +38,66 @@ from ..validation.series import ExperimentResult
 from .cache import ResultCache
 from .fingerprint import experiment_key, source_fingerprint
 
-__all__ = ["RunOutcome", "resolve_ids", "run_experiments"]
+__all__ = ["RunOutcome", "resolve_ids", "run_experiments", "warm_pool",
+           "shutdown_pool"]
+
+#: machine configurations the worker initializer pre-fits: the three
+#: paper machines at their default partitions (what ``calibrated`` asks
+#: for in every figure).
+_WARM_CONFIGS = (("maspar", 1024), ("gcel", 64), ("cm5", 64))
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers: int | None = None
+
+
+def _warm_worker(seed: int) -> None:
+    """Worker initializer: import the stack and pre-fit calibrations.
+
+    Runs once per worker process.  The fits land in the process-wide
+    ``calibration_for`` memo with the exact keys ``calibrated`` uses
+    (``machine_seed = seed + 1000``), so experiment code hits the memo
+    instead of re-fitting.
+    """
+    from ..calibration.table1 import calibration_for
+
+    for name, P in _WARM_CONFIGS:
+        calibration_for(name, P=P, machine_seed=seed + 1000, seed=seed)
+
+
+def warm_pool(jobs: int, *, seed: int = 0) -> ProcessPoolExecutor:
+    """The persistent worker pool, (re)built only when ``jobs`` changes.
+
+    Forked workers survive across :func:`run_experiments` calls; the
+    parent's memo is warmed first so they inherit the fits.  A later
+    call with a different ``seed`` reuses the running pool — workers
+    then fit that seed's calibrations once each on demand (still
+    memoised per worker process).
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers == jobs:
+        return _pool
+    shutdown_pool()
+    try:
+        ctx = multiprocessing.get_context("fork")
+        _warm_worker(seed)  # children fork off the warmed memo
+        initializer, initargs = None, ()
+    except ValueError:  # no fork (e.g. Windows): warm each worker instead
+        ctx = multiprocessing.get_context()
+        initializer, initargs = _warm_worker, (seed,)
+    _pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                                initializer=initializer, initargs=initargs)
+    _pool_workers = jobs
+    atexit.register(shutdown_pool)
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Stop the persistent pool (no-op when none is running)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = None
 
 
 @dataclass
@@ -117,12 +188,12 @@ def run_experiments(ids: list[str], *, scale: float = 1.0, seed: int = 0,
                 fresh[exp_id] = (result, time.perf_counter() - t0)
         else:
             fresh = {}
-            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as ex:
-                futures = {exp_id: ex.submit(_worker, exp_id, scale, seed)
-                           for exp_id in misses}
-                for exp_id, fut in futures.items():
-                    doc, elapsed = fut.result()
-                    fresh[exp_id] = (ExperimentResult.from_dict(doc), elapsed)
+            ex = warm_pool(jobs, seed=seed)
+            futures = {exp_id: ex.submit(_worker, exp_id, scale, seed)
+                       for exp_id in misses}
+            for exp_id, fut in futures.items():
+                doc, elapsed = fut.result()
+                fresh[exp_id] = (ExperimentResult.from_dict(doc), elapsed)
         for exp_id, (result, elapsed) in fresh.items():
             if cache is not None:
                 if force:

@@ -138,10 +138,14 @@ def charge_batches(machine, batches: Sequence[WorkBatch],
     batches = [b for b in batches if len(b)]
     if not batches:
         return {}
-    ranks = np.concatenate([b.ranks for b in batches])
-    order = np.argsort(ranks, kind="stable")
-    ranks = ranks[order]
-    base = np.empty(order.size)
+    flat = np.concatenate([b.ranks for b in batches])
+    if bool((np.diff(flat) >= 0).all()):
+        order = None  # already rank-major: skip the sort and gathers
+        ranks = flat
+    else:
+        order = np.argsort(flat, kind="stable")
+        ranks = flat[order]
+    base = np.empty(flat.size)
     pos = 0
     for b in batches:
         prices = machine.compute_time_batch(b.kind, b.params, b.ranks)
@@ -152,23 +156,32 @@ def charge_batches(machine, batches: Sequence[WorkBatch],
                 for i, r in enumerate(b.ranks)])
         base[pos:pos + len(b)] = prices
         pos += len(b)
-    times = base[order]
+    times = base if order is None else base[order]
     if machine.compute_noise:
         times = times * (1.0 + machine.rng.normal(
             0.0, machine.compute_noise, size=times.size))
     _accumulate(clocks, ranks, times)
 
     # materialise Work objects for the trace (dict in rank order, items
-    # in emission order — what the generator engine would have recorded)
+    # in emission order — what the generator engine would have recorded).
+    # Work items are frozen and compared by value, so a batch with
+    # uniform parameters (0-stride broadcast columns) shares one instance
+    # across all its items.
     work: dict[int, list[Work]] = {}
-    flat_kinds: list[type] = []
-    flat_args: list[tuple] = []
+    flat_objs: list[Work] = []
     for b in batches:
-        cols = [b.params[f].tolist() for f in b.params]
-        flat_kinds.extend([b.kind] * len(b))
-        flat_args.extend(zip(*cols))
+        cols = [b.params[f] for f in b.params]
+        if all(not any(c.strides) for c in cols):
+            one = b.kind(*(c.flat[0].item() for c in cols))
+            flat_objs.extend([one] * len(b))
+        else:
+            flat_objs.extend(
+                b.kind(*args) for args in zip(*(c.tolist() for c in cols)))
     rank_seq = ranks.tolist()
-    for j, flat_i in enumerate(order.tolist()):
-        work.setdefault(rank_seq[j], []).append(
-            flat_kinds[flat_i](*flat_args[flat_i]))
+    if order is None:
+        for j, obj in enumerate(flat_objs):
+            work.setdefault(rank_seq[j], []).append(obj)
+    else:
+        for j, flat_i in enumerate(order.tolist()):
+            work.setdefault(rank_seq[j], []).append(flat_objs[flat_i])
     return work

@@ -39,7 +39,7 @@ import numpy as np
 from ..core.errors import DeadlockError, SimulationError
 from ..core.relations import CommPhase
 from ..core.trace import Superstep, Trace
-from ..core.work import Compare, Copy, Flops, MatmulBlock, Merge, RadixSort
+from ..core.work import Compare, Copy, Flops, Generic, MatmulBlock, Merge, RadixSort
 from .batch import WorkBatch, charge_batches
 from .commands import SyncToken
 from .result import RunResult
@@ -74,7 +74,8 @@ _EMPTY = np.zeros(0, dtype=np.int64)
 class VectorContext:
     """The view a vector program has of all ``P`` processors at once."""
 
-    __slots__ = ("P", "word_bytes", "simd", "_groups", "_batches")
+    __slots__ = ("P", "word_bytes", "simd", "_groups", "_batches",
+                 "_put_cache")
 
     def __init__(self, P: int, word_bytes: int, simd: bool = False):
         if P < 1:
@@ -85,6 +86,14 @@ class VectorContext:
         # per-superstep accumulators, drained by the engine at each sync:
         self._groups: list[tuple[np.ndarray, ...]] = []
         self._batches: list[WorkBatch] = []
+        # memoised put_group results, keyed by argument identity: programs
+        # that hoist their group arrays out of iteration loops (APSP's
+        # broadcasts) re-emit the *same* objects every round, and the
+        # cached tuple (same object too) lets the engine intern the whole
+        # phase.  The cache pins its keys' arrays, so an id collision
+        # implies identity; arrays passed to put_group are borrowed for
+        # the run and must not be mutated afterwards.
+        self._put_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Sending
@@ -103,23 +112,59 @@ class VectorContext:
         order) for multi-send supersteps, so the engine's stable
         rank-major sort reproduces the per-rank emission order.
         """
+        key = (id(src), id(dst),
+               count if type(count) is int else (id(count),),
+               nbytes if type(nbytes) is int else (id(nbytes),),
+               step if type(step) is int else (id(step),))
+        cached = self._put_cache.get(key)
+        if cached is not None:
+            # the cache holds the keyed objects alive, so the ids in the
+            # key cannot have been reused: this is the same call again.
+            self._groups.append(cached[1])
+            return
+        pin = (src, dst, count, nbytes, step)
         src = np.atleast_1d(np.asarray(src, dtype=np.int64))
         if src.size == 0:
             return
-        dst = np.broadcast_to(np.asarray(dst, dtype=np.int64), src.shape)
-        count = np.broadcast_to(np.asarray(count, dtype=np.int64), src.shape)
-        total = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), src.shape)
-        step = np.broadcast_to(np.asarray(step, dtype=np.int64), src.shape)
-        if ((src < 0) | (src >= self.P)).any():
+        shape = src.shape
+        if int(src.min()) < 0 or int(src.max()) >= self.P:
             raise SimulationError(f"source rank out of range (P={self.P})")
-        if ((dst < 0) | (dst >= self.P)).any():
-            raise SimulationError(f"destination out of range (P={self.P})")
-        if (count < 1).any():
-            raise SimulationError("count must be >= 1")
-        if (total < 0).any():
-            raise SimulationError("nbytes must be >= 0")
-        msg_bytes = np.where(total, -(-total // count), 0)
-        self._groups.append((src, dst, count, msg_bytes, step))
+        dst = np.asarray(dst, dtype=np.int64)
+        if dst.ndim == 0:
+            if not 0 <= int(dst) < self.P:
+                raise SimulationError(
+                    f"destination out of range (P={self.P})")
+            dst = np.broadcast_to(dst, shape)
+        else:
+            dst = np.broadcast_to(dst, shape)
+            if int(dst.min()) < 0 or int(dst.max()) >= self.P:
+                raise SimulationError(
+                    f"destination out of range (P={self.P})")
+        count_a = np.asarray(count, dtype=np.int64)
+        total_a = np.asarray(nbytes, dtype=np.int64)
+        if count_a.ndim == 0 and total_a.ndim == 0:
+            # scalar fast path: one division instead of per-pair arrays
+            c = int(count_a)
+            t = int(total_a)
+            if c < 1:
+                raise SimulationError("count must be >= 1")
+            if t < 0:
+                raise SimulationError("nbytes must be >= 0")
+            count_b = np.broadcast_to(count_a, shape)
+            msg_bytes = np.broadcast_to(
+                np.asarray(-(-t // c) if t else 0, dtype=np.int64), shape)
+        else:
+            count_b = np.broadcast_to(count_a, shape)
+            total_b = np.broadcast_to(total_a, shape)
+            if int(count_b.min()) < 1:
+                raise SimulationError("count must be >= 1")
+            if int(total_b.min()) < 0:
+                raise SimulationError("nbytes must be >= 0")
+            msg_bytes = np.where(total_b, -(-total_b // count_b), 0)
+        step_b = np.broadcast_to(np.asarray(step, dtype=np.int64), shape)
+        group = (src, dst, count_b, msg_bytes, step_b)
+        self._put_cache[key] = (pin, group)
+        self._groups.append(group)
 
     # ------------------------------------------------------------------
     # Synchronisation
@@ -160,6 +205,9 @@ class VectorContext:
     def charge_copy(self, ranks, n_words) -> None:
         self.charge_batch(Copy, ranks, n=n_words)
 
+    def charge_us(self, ranks, us) -> None:
+        self.charge_batch(Generic, ranks, us=us)
+
     # ------------------------------------------------------------------
     # Engine-side hooks
     # ------------------------------------------------------------------
@@ -192,10 +240,22 @@ def run_spmd_vector(machine, program: VectorProgram, *args: Any,
             "vector program must be a generator function (got "
             f"{type(gen).__name__}); did you forget a 'yield ctx.sync()'?")
 
-    clocks = np.zeros(P)
-    trace = Trace(P=P, label=label)
+    # Pass 1 — run the whole program, collecting one (phase, batches,
+    # barrier, label) record per superstep.  SPMD programs never observe
+    # the clocks, and nothing here touches the machine RNG, so the
+    # execution order of passes is unobservable; deferring all pricing
+    # lets pass 2 hand the complete phase sequence to the machine's
+    # batched comm pricer at once.
+    steps: list[tuple[CommPhase, list[WorkBatch], bool, str]] = []
     returns: list[Any] | None = None
     done = False
+    # Phase interning: a superstep assembled from the same group tuples
+    # as an earlier one (put_group cache hits) reuses that superstep's
+    # CommPhase object outright — iterative algorithms then hand the
+    # pricers mostly-shared phases, which they deduplicate by identity.
+    # Cache values pin the group tuples, so matching ids imply identity.
+    phase_cache: dict[tuple, tuple[list, CommPhase]] = {}
+    empty_cache: dict[bool, CommPhase] = {}
 
     for _ in range(max_supersteps):
         token: SyncToken | None = None
@@ -214,30 +274,57 @@ def run_spmd_vector(machine, program: VectorProgram, *args: Any,
         if done and not groups and not batches:
             break  # program returned without trailing activity
 
-        if groups:
-            src = np.concatenate([g[0] for g in groups])
-            # rank-major order, emission order within a rank — exactly
-            # how the generator engine drains contexts rank by rank
-            order = np.argsort(src, kind="stable")
-            src = src[order]
-            dst, count, msg_bytes, step = (
-                np.concatenate([g[i] for g in groups])[order]
-                for i in range(1, 5))
-        else:
-            src = dst = count = msg_bytes = step = _EMPTY
-
         # a lone vector token plays the role of all P live tokens
         stagger = not (token is not None and token.stagger is False)
         barrier = token.barrier if token is not None else True
         step_label = token.label if token is not None else ""
 
-        phase = CommPhase(P=P, src=src, dst=dst, count=count,
-                          msg_bytes=msg_bytes, step=step, stagger=stagger)
+        if groups:
+            cache_key = (tuple(map(id, groups)), stagger)
+            cached = phase_cache.get(cache_key)
+            if cached is not None:
+                phase = cached[1]
+            else:
+                src = np.concatenate([g[0] for g in groups])
+                # rank-major order, emission order within a rank — exactly
+                # how the generator engine drains contexts rank by rank
+                order = np.argsort(src, kind="stable")
+                src = src[order]
+                dst, count, msg_bytes, step = (
+                    np.concatenate([g[i] for g in groups])[order]
+                    for i in range(1, 5))
+                # groups were validated at put_group time
+                phase = CommPhase._trusted(P=P, src=src, dst=dst,
+                                           count=count, msg_bytes=msg_bytes,
+                                           step=step, stagger=stagger)
+                phase_cache[cache_key] = (groups, phase)
+        else:
+            phase = empty_cache.get(stagger)
+            if phase is None:
+                phase = CommPhase(P=P, src=_EMPTY, dst=_EMPTY, count=_EMPTY,
+                                  msg_bytes=_EMPTY, step=_EMPTY,
+                                  stagger=stagger)
+                empty_cache[stagger] = phase
 
+        steps.append((phase, batches, barrier, step_label))
+        if done:
+            break
+    else:
+        raise DeadlockError(
+            f"vector program exceeded {max_supersteps} supersteps; "
+            "suspected livelock")
+
+    # Pass 2 — price every superstep in order: work first, then the
+    # phase, exactly as the interleaved scalar loop would, so the machine
+    # RNG stream is consumed identically.
+    clocks = np.zeros(P)
+    trace = Trace(P=P, label=label)
+    pricer = machine.comm_time_batch([s[0] for s in steps])
+    for i, (phase, batches, barrier, step_label) in enumerate(steps):
         start_max = float(clocks.max())
         work = charge_batches(machine, batches, clocks)
 
-        clocks = machine.comm_time(phase, clocks, barrier=barrier)
+        clocks = pricer.comm_time(i, clocks, barrier=barrier)
         if clocks.shape != (P,):
             raise SimulationError(
                 f"machine {machine.name} returned clocks of shape "
@@ -245,12 +332,6 @@ def run_spmd_vector(machine, program: VectorProgram, *args: Any,
 
         trace.append(Superstep(phase=phase, work=work, label=step_label,
                                measured_us=float(clocks.max()) - start_max))
-        if done:
-            break
-    else:
-        raise DeadlockError(
-            f"vector program exceeded {max_supersteps} supersteps; "
-            "suspected livelock")
 
     if returns is not None and not isinstance(returns, list):
         returns = list(returns)

@@ -1,0 +1,127 @@
+"""Batched pricing vs the scalar oracle: exact agreement (hypothesis).
+
+Two fast paths were layered over the per-phase scalar code and both keep
+a bit-identity contract with it:
+
+* cost models override ``CostModel._comm_costs`` with columnar pricing;
+  the scalar ``comm_cost`` loop remains the oracle;
+* machines override ``Machine.comm_time_batch`` with pricers that hoist
+  the deterministic pattern analysis over the whole phase sequence; the
+  base-class :class:`CommPricer` *is* the scalar loop.
+
+These sweeps draw random phase sequences — repeated objects included,
+since the vector engine interns recurring patterns and both batch layers
+deduplicate by identity — and require clocks, costs and the machine RNG
+stream to agree exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (BSP, EBSP, LocalityAwareBSP, MPBPRAM, MPBSP,
+                        ScatterAwareBSP, paper_params)
+from repro.core.params import UnbalancedCost
+from repro.core.relations import CommPhase
+from repro.machines import CM5, GCel, MasParMP1, T800Grid
+
+MACHINES = {
+    "maspar": MasParMP1,
+    "gcel": GCel,
+    "cm5": CM5,
+    "t800": T800Grid,
+}
+
+
+def draw_phase(draw, P):
+    """One random CommPhase: arbitrary fan-in/out, steps, stagger."""
+    n = draw(st.integers(1, 10))
+    src = draw(st.lists(st.integers(0, P - 1), min_size=n, max_size=n))
+    dst = draw(st.lists(st.integers(0, P - 1), min_size=n, max_size=n))
+    count = draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+    size = draw(st.lists(st.sampled_from([4, 8, 64, 1024]),
+                         min_size=n, max_size=n))
+    step = draw(st.lists(st.sampled_from([-1, 0, 1, 2, 3]),
+                         min_size=n, max_size=n))
+    stagger = draw(st.booleans())
+    return CommPhase(P=P, src=np.array(src), dst=np.array(dst),
+                     count=np.array(count), msg_bytes=np.array(size),
+                     step=np.array(step), stagger=stagger)
+
+
+def draw_sequence(draw, P, max_phases=6):
+    """A phase sequence with identity repeats (interned patterns)."""
+    phases = [draw_phase(draw, P)
+              for _ in range(draw(st.integers(1, max_phases)))]
+    # repeat some objects, as the vector engine's interning does
+    picks = draw(st.lists(st.integers(0, len(phases) - 1),
+                          min_size=1, max_size=2 * max_phases))
+    seq = [phases[i] for i in picks]
+    if CommPhase.empty(P) and draw(st.booleans()):
+        seq.append(CommPhase.empty(P))
+    return seq
+
+
+def all_models(params):
+    # MasPar MP-1 T_unb coefficients (paper §3.1) for E-BSP; the grid
+    # side / bandwidth knobs just need plausible values here — only
+    # batch-vs-scalar agreement is under test, not the prices themselves
+    import math
+
+    unb = UnbalancedCost(a=0.84, b=11.8, c=73.3)
+    side = math.isqrt(params.P)
+    models = [BSP(params), MPBSP(params), MPBPRAM(params),
+              EBSP(params, unb),
+              ScatterAwareBSP(params, g_scatter=params.g / 2)]
+    if side * side == params.P:
+        models.append(LocalityAwareBSP(params, side=side, g0=0.1,
+                                       g_hop=0.05))
+    return models
+
+
+class TestModelBatchAgreement:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_comm_cost_batch_equals_scalar_loop(self, data):
+        P = data.draw(st.sampled_from([4, 16, 64]))
+        seq = draw_sequence(data.draw, P)
+        for params in (paper_params("gcel").with_updates(P=P),
+                       paper_params("cm5").with_updates(P=P)):
+            for model in all_models(params):
+                batch = model.comm_cost_batch(seq)
+                scalar = [model.comm_cost(ph) for ph in seq]
+                assert batch == scalar, \
+                    f"{model.name} batch pricing diverged"
+
+    def test_batch_of_nothing(self):
+        for model in all_models(paper_params("gcel")):
+            assert model.comm_cost_batch([]) == []
+
+
+class TestMachineBatchAgreement:
+    @pytest.mark.parametrize("machine", list(MACHINES))
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_pricer_equals_scalar_loop(self, machine, data):
+        P = data.draw(st.sampled_from([16, 64]))
+        seed = data.draw(st.integers(0, 2 ** 16))
+        seq = draw_sequence(data.draw, P)
+        barriers = [data.draw(st.booleans()) for _ in seq]
+
+        m_scalar = MACHINES[machine](P=P, seed=seed)
+        m_batch = MACHINES[machine](P=P, seed=seed)
+        pricer = m_batch.comm_time_batch(seq)
+
+        cs = np.zeros(P)
+        cb = np.zeros(P)
+        for i, (ph, barrier) in enumerate(zip(seq, barriers)):
+            cs = m_scalar.comm_time(ph, cs, barrier=barrier)
+            cb = pricer.comm_time(i, cb, barrier=barrier)
+            assert np.array_equal(cs, cb), \
+                f"{machine} clocks diverged at phase {i}"
+        # identical draws: the noise streams must end in the same state
+        assert m_scalar.rng.bit_generator.state == \
+            m_batch.rng.bit_generator.state

@@ -7,8 +7,8 @@ import pytest
 from repro.cli import main
 from repro.core.errors import ExperimentError
 from repro.runner.bench import (BenchRecord, QUICK_IDS, append_trajectory,
-                                check_budgets, parse_budgets, render_bench,
-                                run_bench)
+                                check_budgets, compare_last_runs,
+                                parse_budgets, render_bench, run_bench)
 from repro.runner.profile import profile_path, profiled_run, render_profile
 
 # the cheapest registered experiment — keeps these tests out of the
@@ -45,6 +45,17 @@ class TestBenchRecord:
         assert doc["scale"] == 0.5
         assert doc["experiments"]["a"] == 1.2346
         assert doc["errors"] == {"b": "boom"}
+
+    def test_environment_stamp(self):
+        import os
+        import platform
+
+        import numpy as np
+
+        doc = BenchRecord(label="", scale=1.0, seed=0).to_dict()
+        assert doc["numpy"] == np.__version__
+        assert doc["host"] == platform.node()
+        assert doc["cpus"] == os.cpu_count()
 
 
 class TestCheckBudgets:
@@ -138,3 +149,90 @@ class TestBenchCli:
                      "--out", str(tmp_path / "t.json")])
         assert code == 2
         assert "either --quick" in capsys.readouterr().err
+
+
+def _trajectory(tmp_path, prev, last, labels=("old", "new")):
+    out = tmp_path / "traj.json"
+    out.write_text(json.dumps({"runs": [
+        {"label": labels[0], "experiments": prev,
+         "total_s": sum(prev.values())},
+        {"label": labels[1], "experiments": last,
+         "total_s": sum(last.values())},
+    ]}))
+    return out
+
+
+class TestCompareLastRuns:
+    def test_speedup_table(self, tmp_path):
+        out = _trajectory(tmp_path, {"fig1": 4.0, "fig4": 1.0},
+                          {"fig1": 2.0, "fig4": 1.0})
+        table, regressions = compare_last_runs(out)
+        assert regressions == []
+        assert "| fig1 | 4.00 | 2.00 | 2.00x |" in table
+        assert "| **total** | 5.00 | 3.00 | 1.67x |" in table
+        assert "| experiment | old (s) | new (s) | speedup |" in table
+
+    def test_regression_flagged_past_tolerance(self, tmp_path):
+        out = _trajectory(tmp_path, {"fig1": 1.0}, {"fig1": 2.0})
+        table, regressions = compare_last_runs(out, tolerance=0.25)
+        (msg,) = regressions
+        assert "fig1" in msg and "+100%" in msg
+        assert "⚠" in table
+
+    def test_tolerance_suppresses_flag(self, tmp_path):
+        out = _trajectory(tmp_path, {"fig1": 1.0}, {"fig1": 2.0})
+        _, regressions = compare_last_runs(out, tolerance=1.5)
+        assert regressions == []
+
+    def test_noise_floor_exempts_tiny_times(self, tmp_path):
+        # 3x slower but under 0.2s absolute: host-timer noise, not flagged
+        out = _trajectory(tmp_path, {"fig1": 0.05}, {"fig1": 0.15})
+        _, regressions = compare_last_runs(out)
+        assert regressions == []
+
+    def test_one_sided_experiments_get_dash_rows(self, tmp_path):
+        out = _trajectory(tmp_path, {"gone": 1.0}, {"added": 1.0})
+        table, regressions = compare_last_runs(out)
+        assert regressions == []
+        assert "| gone | 1.00 | - | - |" in table
+        assert "| added | - | 1.00 | - |" in table
+
+    def test_needs_two_runs(self, tmp_path):
+        out = tmp_path / "traj.json"
+        out.write_text(json.dumps({"runs": [{"experiments": {}}]}))
+        with pytest.raises(ExperimentError, match="needs two"):
+            compare_last_runs(out)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no trajectory"):
+            compare_last_runs(tmp_path / "nope.json")
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="tolerance"):
+            compare_last_runs(tmp_path / "t.json", tolerance=-0.1)
+
+
+class TestCompareCli:
+    def test_exit_zero_and_table_on_stdout(self, tmp_path, capsys):
+        out = _trajectory(tmp_path, {"fig1": 2.0}, {"fig1": 1.0})
+        code = main(["bench", "--compare", "--out", str(out)])
+        assert code == 0
+        assert "| fig1 | 2.00 | 1.00 | 2.00x |" in capsys.readouterr().out
+
+    def test_exit_three_on_regression(self, tmp_path, capsys):
+        out = _trajectory(tmp_path, {"fig1": 1.0}, {"fig1": 2.0})
+        code = main(["bench", "--compare", "--out", str(out)])
+        assert code == 3
+        assert "regression" in capsys.readouterr().err
+
+    def test_custom_tolerance(self, tmp_path, capsys):
+        out = _trajectory(tmp_path, {"fig1": 1.0}, {"fig1": 2.0})
+        code = main(["bench", "--compare", "--tolerance", "1.5",
+                     "--out", str(out)])
+        assert code == 0
+
+    def test_compare_without_file_exits_two(self, tmp_path, capsys):
+        code = main(["bench", "--compare",
+                     "--out", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "no trajectory" in capsys.readouterr().err

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.errors import ExperimentError
 from repro.runner import ResultCache, resolve_ids, run_experiments
+from repro.runner.pool import shutdown_pool, warm_pool
 
 #: a cheap but non-trivial batch (two machines, calibration, microbenches)
 BATCH = ["fig1", "fig2", "fig14", "table1"]
@@ -82,6 +83,44 @@ class TestParallelExecution:
         outs = run_experiments(BATCH, scale=0.3, jobs=4, cache=warm)
         assert all(o.cached for o in outs)
         assert warm.stats.hits == len(BATCH)
+
+
+class TestWarmPool:
+    def test_pool_persists_across_batches(self):
+        ex1 = warm_pool(2, seed=0)
+        ex2 = warm_pool(2, seed=0)
+        assert ex1 is ex2
+        try:
+            # the same executor serves successive run_experiments batches
+            run_experiments(["fig14"], scale=0.3, jobs=2, cache=None)
+            run_experiments(["fig14"], scale=0.3, jobs=2, cache=None)
+            assert warm_pool(2, seed=0) is ex1
+        finally:
+            shutdown_pool()
+
+    def test_jobs_change_rebuilds(self):
+        ex2 = warm_pool(2, seed=0)
+        ex3 = warm_pool(3, seed=0)
+        assert ex2 is not ex3
+        shutdown_pool()
+
+    def test_shutdown_is_idempotent(self):
+        warm_pool(2, seed=0)
+        shutdown_pool()
+        shutdown_pool()  # no pool running: must be a no-op
+
+    def test_parent_memo_is_prewarmed(self):
+        from repro.calibration.table1 import calibration_for
+
+        warm_pool(2, seed=0)
+        try:
+            # warm_pool pre-fits in the parent before forking, so the
+            # standard configs hit the memo instantly
+            t0 = time.perf_counter()
+            calibration_for("gcel", P=64, machine_seed=1000, seed=0)
+            assert time.perf_counter() - t0 < 0.1
+        finally:
+            shutdown_pool()
 
 
 class TestCacheSpeedup:

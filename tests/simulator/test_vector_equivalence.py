@@ -15,7 +15,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import apsp, bitonic, matmul
+from repro.algorithms import apsp, bitonic, lu, matmul, samplesort
 from repro.core.errors import SimulationError
 from repro.machines import CM5, GCel, MasParMP1, T800Grid
 from repro.simulator.vector import resolve_engine
@@ -161,6 +161,87 @@ class TestMatmulEquivalence:
         # auto silently picks the generator engine for layout variants
         r = matmul.run(fresh("cm5", 0), 64, variant="bsp-2d", engine="auto")
         assert r.time_us > 0
+
+
+class TestSampleSortEquivalence:
+    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("variant", samplesort.VARIANTS)
+    def test_machines_and_variants(self, machine, variant):
+        g, v = both(samplesort.run, machine, 17, 64, variant=variant,
+                    oversample=8, P=16, seed=5)
+        assert_runs_identical(g, v)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_seeds(self, seed):
+        g, v = both(samplesort.run, "gcel", seed, 48, variant="bpram",
+                    oversample=16, P=16, seed=seed)
+        assert_runs_identical(g, v)
+
+    def test_uneven_buckets(self):
+        # tiny oversample -> badly skewed buckets; the global-sort split
+        # must still reproduce every rank's radix-sorted bucket exactly
+        g, v = both(samplesort.run, "cm5", 2, 96, variant="bsp",
+                    oversample=1, P=16, seed=8)
+        assert_runs_identical(g, v)
+
+    def test_result_is_sorted_permutation(self):
+        v = samplesort.run(fresh("maspar", 0), 64, variant="bpram",
+                           oversample=8, P=16, seed=9, engine="vector")
+        out = np.concatenate([np.asarray(b).ravel() for b in v.returns])
+        assert np.array_equal(out, np.sort(out))  # globally sorted
+        assert np.array_equal(np.sort(out),
+                              np.sort(np.asarray(v.inputs).ravel()))
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(machine=st.sampled_from(["maspar", "gcel", "cm5"]),
+           variant=st.sampled_from(samplesort.VARIANTS),
+           P=st.sampled_from([4, 16]),
+           M=st.integers(min_value=8, max_value=96),
+           oversample=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_sweep(self, machine, variant, P, M, oversample, seed):
+        g, v = both(samplesort.run, machine, seed, M, variant=variant,
+                    oversample=oversample, P=P, seed=seed)
+        assert_runs_identical(g, v)
+
+
+class TestLuEquivalence:
+    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("N,P", [(32, 16), (16, 64)])
+    def test_machines_and_regimes(self, machine, N, P):
+        # (32, 16): blocks bigger than the grid; (16, 64): 2x2 blocks on
+        # an 8x8 grid — the broadcasts dominate
+        g, v = both(lu.run, machine, 19, N, P=P, seed=1)
+        assert_runs_identical(g, v)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_seeds(self, seed):
+        g, v = both(lu.run, "gcel", seed, 24, P=16, seed=seed)
+        assert_runs_identical(g, v)
+
+    def test_single_processor_grid(self):
+        g, v = both(lu.run, "cm5", 0, 8, P=1, seed=2)
+        assert_runs_identical(g, v)
+
+    def test_result_is_correct(self):
+        v = lu.run(fresh("cm5", 0), 32, P=16, seed=5, engine="vector")
+        A = v.inputs
+        got = lu.assemble(16, 32, v.returns)
+        L, U = lu.reference_lu(A)
+        want = np.tril(L, -1) + U
+        assert np.array_equal(got, want)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(machine=st.sampled_from(["maspar", "gcel", "cm5"]),
+           side=st.sampled_from([1, 2, 4]),
+           mult=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_sweep(self, machine, side, mult, seed):
+        N, P = side * mult, side * side
+        g, v = both(lu.run, machine, seed, N, P=P, seed=seed)
+        assert_runs_identical(g, v)
 
 
 class TestResolveEngine:
