@@ -39,7 +39,15 @@ from .core import (
 from .machines import CM5, MACHINES, GCel, Machine, MasParMP1, make_machine
 from .simulator import ProcContext, RunResult, run_spmd
 
-__version__ = "1.0.0"
+# Resolved from the installed package metadata so one bump in
+# pyproject.toml is enough; the fallback covers PYTHONPATH=src usage
+# and must stay in sync with pyproject.toml (test_cli asserts this).
+try:
+    from importlib.metadata import version as _dist_version
+
+    __version__ = _dist_version("repro")
+except Exception:  # not installed: source checkout / PYTHONPATH=src
+    __version__ = "1.0.0"
 
 __all__ = [
     "__version__",

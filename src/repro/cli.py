@@ -16,7 +16,11 @@ Subcommands:
   tabulate the signed errors;
 * ``attribute`` — run one workload and attribute a model's error per
   superstep family (the paper's §5 diagnostics, mechanised);
-* ``machines`` — the simulated platforms and their headline behaviours.
+* ``machines`` — the simulated platforms and their headline behaviours;
+* ``serve`` — the prediction-serving HTTP subsystem (micro-batched
+  ``/predict``, ``/compare``, experiment results, Prometheus
+  ``/metrics``; see docs/SERVICE.md);
+* ``loadtest`` — closed-loop client harness against a running server.
 """
 
 from __future__ import annotations
@@ -28,10 +32,64 @@ import sys
 from . import __version__
 from .calibration import calibrate_all, render_table1
 from .experiments import all_experiments
-from .machines import MACHINES
+from .machines import machine_catalog
 from .validation.textfig import render_result
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not an integer") \
+            from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not a number") \
+            from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonneg_float(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not a number") \
+            from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _port(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{raw!r} is not a port number") \
+            from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be in [0, 65535], got {value}")
+    return value
+
+
+def _mix(raw: str) -> tuple[int, int, int]:
+    from .service.loadtest import parse_mix
+
+    try:
+        return parse_mix(raw)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,7 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'A Quantitative Comparison of "
                     "Parallel Computation Models' (SPAA'96)")
-    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list all experiments")
@@ -114,6 +173,55 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache root (default: $REPRO_CACHE_DIR or "
                             "~/.cache/repro)")
+    cache.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output (info only)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve predictions over HTTP (micro-batched; docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_port, default=8080,
+                       help="TCP port (0 picks an ephemeral port; "
+                            "default 8080)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="batch-evaluation worker shards (default 2)")
+    serve.add_argument("--window-ms", type=_nonneg_float, default=2.0,
+                       metavar="MS",
+                       help="micro-batching window (default 2.0 ms)")
+    serve.add_argument("--max-batch", type=_positive_int, default=256,
+                       metavar="N",
+                       help="largest coalesced batch (default 256)")
+    serve.add_argument("--lru-size", type=_positive_int, default=4096,
+                       metavar="N",
+                       help="prediction LRU entries (default 4096)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="experiment result cache root")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pre-fitting the paper calibrations at "
+                            "boot")
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="closed-loop load test against a running `repro serve`")
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=_port, default=8080)
+    lt.add_argument("--concurrency", type=_positive_int, default=16,
+                    metavar="C", help="concurrent client connections")
+    lt.add_argument("--duration", type=_positive_float, default=10.0,
+                    metavar="S", help="seconds to sustain load")
+    lt.add_argument("--mix", type=_mix, default=(8, 1, 1),
+                    metavar="P:C:E",
+                    help="predict:compare:experiment weights "
+                         "(default 8:1:1)")
+    lt.add_argument("--seed", type=int, default=0)
+    lt.add_argument("--label", default="", metavar="TEXT",
+                    help="tag stored with the trajectory record")
+    lt.add_argument("--out", default="BENCH_sweep.json", metavar="FILE",
+                    help="trajectory file for the service record "
+                         "(default BENCH_sweep.json)")
+    lt.add_argument("--no-record", action="store_true",
+                    help="do not append to the trajectory file")
 
     t1 = sub.add_parser("table1", help="calibrate machines, print Table 1")
     t1.add_argument("--seed", type=int, default=0)
@@ -139,7 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="problem size (default: workload-specific)")
     at.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("machines", help="describe the simulated platforms")
+    mach = sub.add_parser("machines",
+                          help="describe the simulated platforms")
+    mach.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable output")
     return parser
 
 
@@ -278,7 +389,8 @@ def _cmd_bench(ids: list[str], *, quick: bool, scale: float, seed: int,
     return 3 if problems else 0
 
 
-def _cmd_cache(action: str, cache_dir: str | None) -> int:
+def _cmd_cache(action: str, cache_dir: str | None,
+               as_json: bool = False) -> int:
     from .runner import ResultCache
 
     cache = ResultCache(cache_dir)
@@ -287,6 +399,13 @@ def _cmd_cache(action: str, cache_dir: str | None) -> int:
         print(f"removed {removed} cached result(s) from {cache.root}")
         return 0
     entries = cache.entries()
+    if as_json:
+        import json
+
+        print(json.dumps({"root": str(cache.root),
+                          "count": len(entries),
+                          "entries": entries}, indent=1))
+        return 0
     print(f"cache root: {cache.root}")
     print(f"{len(entries)} cached result(s)")
     for e in entries:
@@ -356,23 +475,48 @@ def _cmd_attribute(machine_name: str, workload: str, model_name: str,
     return 0
 
 
-def _cmd_machines() -> int:
-    blurbs = {
-        "maspar": "1024-PE SIMD, circuit-switched delta router, one "
-                  "channel per 16-PE cluster; cheap cube permutations, "
-                  "strong partial-permutation discount",
-        "gcel": "64-node T805 mesh under HPVM; per-message software "
-                "costs dominate (g~4480), scatters ~9x cheaper, drifts "
-                "out of sync without barriers",
-        "cm5": "64-node fat tree (Split-C, no vector units); fine-grain "
-               "messages ~9us, endpoint contention on unstaggered "
-               "schedules, cache-sensitive local matmul",
-        "t800": "64-node T800 grid under native Parix (the authors' "
-                "earlier study [15]); store-and-forward per-hop costs "
-                "make locality visible (extension)",
-    }
-    for name, cls in MACHINES.items():
-        print(f"{name:<8} {cls.__name__:<12} {blurbs[name]}")
+def _cmd_machines(as_json: bool = False) -> int:
+    catalog = machine_catalog()
+    if as_json:
+        import json
+
+        print(json.dumps({"machines": catalog}, indent=1))
+        return 0
+    for entry in catalog:
+        print(f"{entry['name']:<8} {entry['class']:<12} {entry['summary']}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, run_service
+
+    return run_service(ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        window_ms=args.window_ms, max_batch=args.max_batch,
+        lru_size=args.lru_size, cache_dir=args.cache_dir,
+        warm=not args.no_warm))
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import append_service_record, render_report, run_loadtest
+
+    try:
+        report = asyncio.run(run_loadtest(
+            args.host, args.port, concurrency=args.concurrency,
+            duration_s=args.duration, mix=args.mix, seed=args.seed))
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach http://{args.host}:{args.port} — "
+              f"{exc}\n(is `repro serve` running?)", file=sys.stderr)
+        return 2
+    print(render_report(report))
+    if not args.no_record:
+        path = append_service_record(report, args.out, label=args.label)
+        print(f"wrote {path}")
+    if report.total == 0:
+        print("error: no request completed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -406,7 +550,11 @@ def _dispatch(args: argparse.Namespace) -> int:
                           profile=args.profile, cache_dir=args.cache_dir,
                           compare=args.compare, tolerance=args.tolerance)
     if args.command == "cache":
-        return _cmd_cache(args.action, args.cache_dir)
+        return _cmd_cache(args.action, args.cache_dir, args.as_json)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "table1":
         return _cmd_table1(args.seed, args.trials)
     if args.command == "scoreboard":
@@ -418,7 +566,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_attribute(args.machine, args.workload, args.model,
                               args.size, args.seed)
     if args.command == "machines":
-        return _cmd_machines()
+        return _cmd_machines(args.as_json)
     raise AssertionError("unreachable")
 
 

@@ -174,9 +174,14 @@ def compare_last_runs(path: str | Path, *,
     except json.JSONDecodeError as exc:
         raise ExperimentError(f"unreadable trajectory file {p}: {exc}")
     runs = doc.get("runs", []) if isinstance(doc, dict) else []
+    # the loadtest harness appends `kind: "service"` records to the same
+    # trajectory; those have no per-experiment times, so the cold-sweep
+    # diff looks straight past them
+    runs = [r for r in runs if isinstance(r, dict)
+            and r.get("kind") != "service"]
     if len(runs) < 2:
         raise ExperimentError(
-            f"{p} holds {len(runs)} run(s); --compare needs two")
+            f"{p} holds {len(runs)} comparable run(s); --compare needs two")
     prev, last = runs[-2], runs[-1]
     prev_t = prev.get("experiments", {})
     last_t = last.get("experiments", {})

@@ -1,0 +1,28 @@
+"""repro.service — batched, cached prediction serving over HTTP/JSON.
+
+The cost oracle as a subsystem: ``repro serve`` exposes predictions,
+model comparisons and experiment results on an asyncio HTTP server whose
+hot path micro-batches concurrent requests onto the vector engine's
+batched pricers, with an LRU over the calibration memo.  ``repro
+loadtest`` is the closed-loop client harness.  See docs/SERVICE.md.
+"""
+
+from .batcher import LRUCache, MicroBatcher
+from .loadtest import (LoadtestReport, append_service_record, parse_mix,
+                       render_report, run_loadtest)
+from .metrics import MetricsRegistry, ServiceMetrics
+from .oracle import (ALGORITHMS, MODELS, OracleError, PredictRequest,
+                     compare_offline, evaluate_batch, predict_offline)
+from .server import (ReproService, ServiceApp, ServiceConfig, ServiceThread,
+                     run_service)
+
+__all__ = [
+    "LRUCache", "MicroBatcher",
+    "LoadtestReport", "append_service_record", "parse_mix",
+    "render_report", "run_loadtest",
+    "MetricsRegistry", "ServiceMetrics",
+    "ALGORITHMS", "MODELS", "OracleError", "PredictRequest",
+    "compare_offline", "evaluate_batch", "predict_offline",
+    "ReproService", "ServiceApp", "ServiceConfig", "ServiceThread",
+    "run_service",
+]

@@ -1,0 +1,152 @@
+"""A tiny HTTP/1.1 layer over ``asyncio`` streams — no dependencies.
+
+Just enough protocol for a JSON API: request-line + header parsing,
+``Content-Length`` bodies (no chunked uploads), keep-alive with an idle
+timeout, and explicit-length responses.  Anything malformed maps to an
+:class:`HttpError` which the connection loop renders as a JSON error
+body.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "Request", "Response", "read_request",
+           "encode_response", "STATUS_PHRASES"]
+
+MAX_BODY = 1 << 20          # 1 MiB request-body cap
+MAX_HEADERS = 100
+
+STATUS_PHRASES = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or client-level failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    version: str
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def json(self):
+        """The request body as JSON, or an :class:`HttpError` 400."""
+        if not self.body:
+            raise HttpError(400, "request body required (JSON)")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response (body already encoded)."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, obj, status: int = 200) -> "Response":
+        return cls(status=status,
+                   body=(json.dumps(obj) + "\n").encode())
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; version=0.0.4") -> "Response":
+        return cls(status=status, body=text.encode(),
+                   content_type=content_type)
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        return cls.json({"error": message, "status": status}, status=status)
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, ValueError) as exc:
+        raise HttpError(400, f"unreadable request line: {exc}") from exc
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol {version}")
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > MAX_BODY:
+            raise HttpError(413, f"body exceeds {MAX_BODY} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except Exception as exc:  # IncompleteReadError, ConnectionError
+            raise HttpError(400, f"truncated body: {exc}") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    parts = urlsplit(target)
+    query = {k: v for k, v in parse_qsl(parts.query, keep_blank_values=True)}
+    return Request(method=method.upper(), path=unquote(parts.path),
+                   query=query, version=version, headers=headers, body=body)
+
+
+def encode_response(resp: Response, *, keep_alive: bool,
+                    version: str = "HTTP/1.1") -> bytes:
+    phrase = STATUS_PHRASES.get(resp.status, "Unknown")
+    head = [f"{version} {resp.status} {phrase}",
+            f"Content-Type: {resp.content_type}",
+            f"Content-Length: {len(resp.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+            "Server: repro.service"]
+    for name, value in resp.headers.items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + resp.body

@@ -1,0 +1,259 @@
+"""Hand-rolled Prometheus instrumentation (text exposition format 0.0.4).
+
+No client library dependency: the service only needs counters, gauges
+and histograms, all updated from the event-loop thread, so a few dozen
+lines of dict bookkeeping suffice.  ``GET /metrics`` renders the
+registry; the loadtest harness parses the same text back to report the
+server-side batch-size distribution.
+
+Catalogue (all prefixed ``repro_``):
+
+========================================  =========  ======================
+metric                                    type       labels
+========================================  =========  ======================
+``repro_requests_total``                  counter    ``endpoint, status``
+``repro_request_duration_seconds``        histogram  ``endpoint``
+``repro_batch_size``                      histogram  —
+``repro_batches_total``                   counter    —
+``repro_lru_hits_total``                  counter    ``kind``
+``repro_lru_misses_total``                counter    ``kind``
+``repro_lru_hit_ratio``                   gauge      —
+``repro_inflight_requests``               gauge      —
+``repro_service_info``                    gauge      ``version``
+========================================  =========  ======================
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "ServiceMetrics", "parse_histogram"]
+
+#: default latency buckets, in seconds (1 ms ... 10 s).
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0)
+#: batch-size buckets (powers of two up to the default max batch).
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labelstr(names: tuple[str, ...], values: tuple) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{_escape(v)}"' for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+def _fmt(v: float) -> str:
+    """Prometheus float formatting: integers without the trailing .0."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def header(self) -> list[str]:
+        return [f"# HELP {self.name} {self.help}",
+                f"# TYPE {self.name} {self.kind}"]
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        for key in sorted(self._values):
+            lines.append(f"{self.name}{_labelstr(self.labelnames, key)} "
+                         f"{_fmt(self._values[key])}")
+        if not self._values and not self.labelnames:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple, float] = {}
+        #: optional zero-arg callback rendered instead of stored values
+        self.callback = None
+
+    def set(self, value: float, **labels) -> None:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        values = self._values
+        if self.callback is not None:
+            values = {(): float(self.callback())}
+        for key in sorted(values):
+            lines.append(f"{self.name}{_labelstr(self.labelnames, key)} "
+                         f"{_fmt(values[key])}")
+        if not values and not self.labelnames:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name, help, buckets, labelnames=()):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        # per label-value tuple: (bucket counts, sum, count)
+        self._series: dict[tuple, list] = {}
+
+    def _row(self, labels: dict) -> list:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        row = self._series.get(key)
+        if row is None:
+            row = self._series[key] = [[0] * len(self.buckets), 0.0, 0]
+        return row
+
+    def observe(self, value: float, **labels) -> None:
+        counts, _, _ = row = self._row(labels)
+        for i, b in enumerate(self.buckets):
+            if value <= b:
+                counts[i] += 1
+        row[1] += value
+        row[2] += 1
+
+    def count(self, **labels) -> int:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        return self._series.get(key, [[], 0.0, 0])[2]
+
+    def mean(self, **labels) -> float:
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        _, total, n = self._series.get(key, [[], 0.0, 0])
+        return total / n if n else 0.0
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        series = self._series or ({(): [[0] * len(self.buckets), 0.0, 0]}
+                                  if not self.labelnames else {})
+        for key in sorted(series):
+            counts, total, n = series[key]
+            names = self.labelnames + ("le",)
+            for i, b in enumerate(self.buckets):
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_labelstr(names, key + (_fmt(b),))} {counts[i]}")
+            lines.append(f"{self.name}_bucket"
+                         f"{_labelstr(names, key + ('+Inf',))} {n}")
+            lines.append(f"{self.name}_sum{_labelstr(self.labelnames, key)} "
+                         f"{_fmt(total)}")
+            lines.append(f"{self.name}_count"
+                         f"{_labelstr(self.labelnames, key)} {n}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics with one ``render()``."""
+
+    def __init__(self):
+        self._metrics: list[_Metric] = []
+
+    def register(self, metric: _Metric) -> _Metric:
+        self._metrics.append(metric)
+        return metric
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for m in self._metrics:
+            lines.extend(m.render())
+        return "\n".join(lines) + "\n"
+
+
+class ServiceMetrics:
+    """The service's full instrument panel (see module catalogue)."""
+
+    def __init__(self, version: str = "0"):
+        r = self.registry = MetricsRegistry()
+        self.requests = r.register(Counter(
+            "repro_requests_total", "HTTP requests served.",
+            ("endpoint", "status")))
+        self.latency = r.register(Histogram(
+            "repro_request_duration_seconds",
+            "Request handling latency.", LATENCY_BUCKETS, ("endpoint",)))
+        self.batch_size = r.register(Histogram(
+            "repro_batch_size",
+            "Requests coalesced per micro-batch.", BATCH_BUCKETS))
+        self.batches = r.register(Counter(
+            "repro_batches_total", "Micro-batches dispatched."))
+        self.lru_hits = r.register(Counter(
+            "repro_lru_hits_total", "Prediction LRU hits.", ("kind",)))
+        self.lru_misses = r.register(Counter(
+            "repro_lru_misses_total", "Prediction LRU misses.", ("kind",)))
+        ratio = r.register(Gauge(
+            "repro_lru_hit_ratio",
+            "Prediction LRU hit ratio since boot."))
+        ratio.callback = self.hit_ratio
+        self.inflight = r.register(Gauge(
+            "repro_inflight_requests", "Requests currently being handled."))
+        info = r.register(Gauge(
+            "repro_service_info", "Service metadata.", ("version",)))
+        info.set(1, version=version)
+
+    def hit_ratio(self) -> float:
+        hits = self.lru_hits.total()
+        total = hits + self.lru_misses.total()
+        return hits / total if total else 0.0
+
+    def render(self) -> str:
+        return self.registry.render()
+
+
+def parse_histogram(text: str, name: str) -> tuple[dict[str, int], float, int]:
+    """Extract one unlabelled histogram from Prometheus text.
+
+    Returns ``(bucket counts by le, sum, count)`` — what the loadtest
+    needs to report the server's batch-size distribution.
+    """
+    buckets: dict[str, int] = {}
+    total, count = 0.0, 0
+    for line in text.splitlines():
+        if line.startswith(f"{name}_bucket{{le="):
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            buckets[le] = int(float(line.rsplit(" ", 1)[1]))
+        elif line.startswith(f"{name}_sum"):
+            total = float(line.rsplit(" ", 1)[1])
+        elif line.startswith(f"{name}_count"):
+            count = int(float(line.rsplit(" ", 1)[1]))
+    return buckets, total, count

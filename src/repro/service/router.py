@@ -1,0 +1,185 @@
+"""Route table and endpoint handlers.
+
+A route maps ``METHOD /path/{param}`` onto an async handler
+``handler(app, request, **params) -> Response``; ``app`` is the
+:class:`repro.service.server.ServiceApp` carrying the batcher, metrics,
+result cache and registries.  Handlers never run simulations on the
+event loop: predictions go through the micro-batcher, experiment runs
+through an executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .. import __version__
+from ..core.errors import ExperimentError, ReproError
+from ..machines import machine_catalog
+from .httpd import HttpError, Request, Response
+from .oracle import ALGORITHMS, MODELS, OracleError, PredictRequest
+
+__all__ = ["Router", "default_router"]
+
+
+class Router:
+    """Literal-and-``{param}`` path matching over a method table."""
+
+    def __init__(self):
+        self._routes: list[tuple[str, tuple[str, ...], object]] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        self._routes.append((method.upper(),
+                             tuple(pattern.strip("/").split("/")), handler))
+
+    def match(self, method: str, path: str):
+        """Return ``(handler, params)`` or raise 404/405."""
+        segments = tuple(path.strip("/").split("/"))
+        seen_path = False
+        for verb, pattern, handler in self._routes:
+            if len(pattern) != len(segments):
+                continue
+            params = {}
+            for pat, seg in zip(pattern, segments):
+                if pat.startswith("{") and pat.endswith("}"):
+                    params[pat[1:-1]] = seg
+                elif pat != seg:
+                    break
+            else:
+                seen_path = True
+                if verb == method:
+                    return handler, params
+        if seen_path:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no route for {path}")
+
+    def endpoint_of(self, method: str, path: str) -> str:
+        """The *pattern* a path matched (metrics label, bounded
+        cardinality) — ``/experiments/{id}``, not ``/experiments/fig12``."""
+        try:
+            handler, _ = self.match(method, path)
+        except HttpError:
+            return "(unmatched)"
+        for verb, pattern, h in self._routes:
+            if h is handler and verb == method.upper():
+                return "/" + "/".join(pattern)
+        return "(unmatched)"
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+async def healthz(app, request: Request) -> Response:
+    return Response.json({
+        "status": "ok",
+        "version": __version__,
+        "uptime_s": round(app.uptime_s, 3),
+        "lru_entries": len(app.batcher.cache),
+    })
+
+
+async def machines(app, request: Request) -> Response:
+    return Response.json({"machines": machine_catalog()})
+
+
+async def experiments_index(app, request: Request) -> Response:
+    return Response.json({"experiments": [
+        {"id": exp.id, "title": exp.title, "paper_ref": exp.paper_ref}
+        for exp in app.experiments.values()
+    ]})
+
+
+async def capabilities(app, request: Request) -> Response:
+    """What /predict accepts — lets clients build forms without docs."""
+    return Response.json({
+        "machines": sorted(m["name"] for m in machine_catalog()),
+        "models": list(MODELS),
+        "algorithms": {name: {"default_size": size}
+                       for name, (size, _) in ALGORITHMS.items()},
+    })
+
+
+def _float_param(request: Request, name: str, default: float) -> float:
+    raw = request.query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise HttpError(400, f"query parameter {name}={raw!r} is not a "
+                        "number") from None
+
+
+async def experiment_detail(app, request: Request, id: str) -> Response:
+    """Run one registered experiment through the runner's result cache."""
+    if id not in app.experiments:
+        raise HttpError(404, f"unknown experiment {id!r}")
+    scale = _float_param(request, "scale", 1.0)
+    seed = int(_float_param(request, "seed", 0))
+    if not 0 < scale <= 1:
+        raise HttpError(400, f"scale must be in (0, 1], got {scale}")
+
+    # single-flight per (id, scale, seed): concurrent identical requests
+    # share one computation instead of stampeding the executor
+    lock = app.experiment_locks.setdefault((id, scale, seed), asyncio.Lock())
+    async with lock:
+        try:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                app.executor, app.run_experiment, id, scale, seed)
+        except ExperimentError as exc:
+            raise HttpError(422, str(exc)) from exc
+    return Response.json({
+        "id": id,
+        "scale": scale,
+        "seed": seed,
+        "cached": outcome.cached,
+        "elapsed_s": round(outcome.elapsed_s, 6),
+        "result": outcome.result.to_dict(),
+    })
+
+
+async def predict(app, request: Request) -> Response:
+    try:
+        req = PredictRequest.from_json(request.json())
+    except OracleError as exc:
+        raise HttpError(422, str(exc)) from exc
+    key = ("predict",) + (req.machine, req.model, req.algorithm,
+                          req.size, req.seed)
+    result = await app.batcher.submit("predict", key, req)
+    return Response.json(result)
+
+
+async def compare(app, request: Request) -> Response:
+    try:
+        req = PredictRequest.from_json(request.json(), need_model=False)
+    except OracleError as exc:
+        raise HttpError(422, str(exc)) from exc
+    key = ("compare",) + req.sim_key
+    result = await app.batcher.submit("compare", key, req)
+    return Response.json(result)
+
+
+async def metrics(app, request: Request) -> Response:
+    return Response.text(app.metrics.render())
+
+
+def default_router() -> Router:
+    router = Router()
+    router.add("GET", "/healthz", healthz)
+    router.add("GET", "/machines", machines)
+    router.add("GET", "/experiments", experiments_index)
+    router.add("GET", "/experiments/{id}", experiment_detail)
+    router.add("GET", "/capabilities", capabilities)
+    router.add("POST", "/predict", predict)
+    router.add("POST", "/compare", compare)
+    router.add("GET", "/metrics", metrics)
+    return router
+
+
+def service_error_response(exc: Exception) -> Response:
+    """Map handler exceptions onto HTTP statuses."""
+    if isinstance(exc, HttpError):
+        return Response.error(exc.status, exc.message)
+    if isinstance(exc, (OracleError, ReproError, ValueError)):
+        return Response.error(422, str(exc))
+    return Response.error(500, f"{type(exc).__name__}: {exc}")

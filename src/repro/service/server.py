@@ -1,0 +1,305 @@
+"""Server assembly and lifecycle: ``repro serve``.
+
+:class:`ReproService` owns the listening socket, the per-connection
+keep-alive loops, the micro-batcher and the metrics registry.  Shutdown
+is graceful: on SIGINT/SIGTERM the listener closes first, connection
+loops finish the response they are writing, the batcher drains every
+in-flight future, and only then does the process exit — a load balancer
+doing a rolling restart never sees a dropped request.
+
+:class:`ServiceThread` runs the same server on a private event loop in a
+daemon thread — what the tests and the in-process loadtest fixture use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .. import __version__
+from .batcher import MicroBatcher
+from .httpd import HttpError, Response, encode_response, read_request
+from .metrics import ServiceMetrics
+from .oracle import evaluate_batch
+from .router import default_router, service_error_response
+
+__all__ = ["ServiceConfig", "ServiceApp", "ReproService", "ServiceThread",
+           "run_service"]
+
+#: seconds an idle keep-alive connection may sit before we close it.
+IDLE_TIMEOUT = 60.0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    window_ms: float = 2.0
+    max_batch: int = 256
+    lru_size: int = 4096
+    cache_dir: str | None = None
+    warm: bool = True
+    drain_timeout_s: float = 10.0
+
+
+class ServiceApp:
+    """Shared handler state (what :mod:`.router` handlers see as ``app``)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.metrics = ServiceMetrics(version=__version__)
+        self.batcher = MicroBatcher(
+            evaluate_batch,
+            window_s=config.window_ms / 1000.0,
+            max_batch=config.max_batch,
+            workers=config.workers,
+            lru_size=config.lru_size,
+            metrics=self.metrics)
+        self.router = default_router()
+        # experiment runs are rarer and heavier than predictions: one
+        # executor thread keeps them off both the loop and the batcher
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, config.workers // 2),
+            thread_name_prefix="repro-exp")
+        self.experiment_locks: dict[tuple, asyncio.Lock] = {}
+        self._started_at = time.monotonic()
+
+        from ..experiments import all_experiments
+        from ..runner import ResultCache
+        self.experiments = all_experiments()
+        self.result_cache = ResultCache(config.cache_dir)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def run_experiment(self, exp_id: str, scale: float, seed: int):
+        """Blocking experiment run (executor thread), via the runner cache."""
+        from ..runner import run_experiments
+
+        return run_experiments([exp_id], scale=scale, seed=seed, jobs=1,
+                               cache=self.result_cache)[0]
+
+    def warm(self) -> None:
+        """Pre-fit the three paper calibrations (blocking; boot time)."""
+        from ..calibration.table1 import calibration_for
+
+        for name, P in (("maspar", 1024), ("gcel", 64), ("cm5", 64)):
+            calibration_for(name, P=P, machine_seed=1000, seed=0)
+
+
+class ReproService:
+    """The asyncio HTTP server around one :class:`ServiceApp`."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.app = ServiceApp(self.config)
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stopping = asyncio.Event()
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self.config.warm:
+            # calibrations are memoised process-wide; fitting them before
+            # accepting traffic keeps first-request latency flat
+            await asyncio.get_running_loop().run_in_executor(
+                self.app.executor, self.app.warm)
+        await self.app.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to shut down (signal-handler safe)."""
+        self._stopping.set()
+
+    async def stop(self) -> None:
+        """Graceful: stop accepting, drain in-flight, then tear down."""
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                list(self._conn_tasks),
+                timeout=self.config.drain_timeout_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.app.batcher.stop()
+        self.app.executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (usually via a signal handler)."""
+        await self._stopping.wait()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                # only *request* the stop: the serve loop's finally
+                # performs the one real teardown
+                loop.add_signal_handler(sig, self.request_stop)
+
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while not self._stopping.is_set():
+            try:
+                request = await asyncio.wait_for(read_request(reader),
+                                                 IDLE_TIMEOUT)
+            except asyncio.TimeoutError:
+                return
+            except HttpError as exc:
+                writer.write(encode_response(
+                    Response.error(exc.status, exc.message),
+                    keep_alive=False))
+                await writer.drain()
+                return
+            except ConnectionError:
+                return
+            if request is None:  # clean EOF
+                return
+
+            endpoint = self.app.router.endpoint_of(request.method,
+                                                   request.path)
+            self.app.metrics.inflight.inc()
+            t0 = time.perf_counter()
+            try:
+                handler, params = self.app.router.match(request.method,
+                                                        request.path)
+                response = await handler(self.app, request, **params)
+            except Exception as exc:  # noqa: BLE001 — mapped to a status
+                response = service_error_response(exc)
+            finally:
+                self.app.metrics.inflight.dec()
+            self.app.metrics.latency.observe(time.perf_counter() - t0,
+                                             endpoint=endpoint)
+            self.app.metrics.requests.inc(endpoint=endpoint,
+                                          status=str(response.status))
+
+            keep = request.keep_alive and not self._stopping.is_set()
+            try:
+                writer.write(encode_response(response, keep_alive=keep,
+                                             version=request.version))
+                await writer.drain()
+            except ConnectionError:
+                return
+            if not keep:
+                return
+
+
+async def _amain(config: ServiceConfig, *, ready=None) -> None:
+    service = ReproService(config)
+    await service.start()
+    service.install_signal_handlers()
+    banner = (f"repro.service {__version__} listening on "
+              f"http://{config.host}:{service.port} "
+              f"(workers={config.workers} window={config.window_ms}ms "
+              f"max-batch={config.max_batch} lru={config.lru_size})")
+    print(banner, flush=True)
+    if ready is not None:
+        ready(service)
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()
+
+
+def run_service(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point for ``repro serve``."""
+    try:
+        asyncio.run(_amain(config or ServiceConfig()))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class ServiceThread:
+    """A server on a daemon thread + private loop (tests, fixtures).
+
+    Usage::
+
+        with ServiceThread(ServiceConfig(port=0)) as svc:
+            urllib.request.urlopen(f"http://127.0.0.1:{svc.port}/healthz")
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig(port=0)
+        self.service: ReproService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 — surfaced in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.service = ReproService(self.config)
+        await self.service.start()
+        self._ready.set()
+        try:
+            await self.service.serve_forever()
+        finally:
+            await self.service.stop()
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service did not start in time")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self.service is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(timeout)
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None and self.service.port is not None
+        return self.service.port
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run_service())

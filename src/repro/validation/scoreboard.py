@@ -43,6 +43,12 @@ class Cell:
         """Signed relative error (positive = model overestimates)."""
         return (self.predicted_us - self.measured_us) / self.measured_us
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (used by the service's ``POST /compare``)."""
+        return {"workload": self.workload, "machine": self.machine,
+                "model": self.model, "measured_us": self.measured_us,
+                "predicted_us": self.predicted_us, "error": self.error}
+
 
 @dataclass
 class Scoreboard:

@@ -1,0 +1,40 @@
+"""Shared fixtures for the service test suite.
+
+One server on a daemon thread serves every HTTP-level test in this
+directory: boot cost (calibration warm-up) is paid once, and the tests
+exercise the same keep-alive/batching path production traffic takes.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceThread
+
+
+@pytest.fixture(scope="session")
+def service_thread(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service-cache")
+    config = ServiceConfig(port=0, workers=2, window_ms=1.0,
+                           cache_dir=str(cache_dir), warm=False)
+    with ServiceThread(config) as thread:
+        yield thread
+
+
+def http(port, method, path, body=None, timeout=60.0):
+    """One request; returns ``(status, parsed-or-raw body, content_type)``."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method,
+        data=json.dumps(body).encode() if body is not None else None)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            status, raw = resp.status, resp.read()
+            ctype = resp.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as exc:
+        status, raw = exc.code, exc.read()
+        ctype = exc.headers.get("Content-Type", "")
+    if ctype.startswith("application/json"):
+        return status, json.loads(raw), ctype
+    return status, raw.decode(), ctype

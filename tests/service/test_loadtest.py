@@ -1,0 +1,115 @@
+"""Loadtest harness tests: mix parsing, a short live run, records."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.loadtest import (LoadtestReport, append_service_record,
+                                    parse_mix, render_report, run_loadtest)
+
+
+class TestParseMix:
+    @pytest.mark.parametrize("spec,expected", [
+        ("8:1:1", (8, 1, 1)),
+        ("1:0:0", (1, 0, 0)),
+        ("0:0:5", (0, 0, 5)),
+    ])
+    def test_valid(self, spec, expected):
+        assert parse_mix(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "8:1", "8:1:1:1", "a:b:c", "-1:1:1", "0:0:0", "", "8,1,1",
+    ])
+    def test_invalid(self, spec):
+        with pytest.raises(ValueError, match="bad mix"):
+            parse_mix(spec)
+
+
+class TestReport:
+    def _report(self):
+        r = LoadtestReport(concurrency=2, duration_s=1.0, mix=(1, 1, 0))
+        r.latencies = {"predict": [0.001, 0.002, 0.010],
+                       "compare": [0.004]}
+        r.mean_batch = 2.5
+        r.batch_count = 2
+        r.lru_hit_ratio = 0.75
+        return r
+
+    def test_totals_and_percentiles(self):
+        r = self._report()
+        assert r.total == 4
+        assert r.rps == 4.0
+        assert r.percentile_ms(0.0) == 1.0
+        assert r.percentile_ms(0.99) == 10.0
+        assert r.percentile_ms(0.99, kind="compare") == 4.0
+        assert r.percentile_ms(0.5, kind="missing") == 0.0
+
+    def test_empty_report_is_all_zero(self):
+        r = LoadtestReport(concurrency=1, duration_s=0.0, mix=(1, 0, 0))
+        assert r.total == 0 and r.rps == 0.0
+        assert r.percentile_ms(0.95) == 0.0
+
+    def test_record_shape(self):
+        rec = self._report().to_record("my label")
+        assert rec["kind"] == "service"
+        assert rec["label"] == "my label"
+        assert rec["requests"] == 4
+        assert rec["mix"] == "1:1:0"
+        assert rec["mean_batch"] == 2.5
+
+    def test_render_report(self):
+        text = render_report(self._report())
+        assert "throughput" in text and "4 requests" in text
+        assert "LRU hit ratio | 75.0%" in text
+        assert "predict p95 (3 reqs)" in text
+
+
+class TestAppendServiceRecord:
+    def test_creates_and_appends(self, tmp_path):
+        out = tmp_path / "BENCH_sweep.json"
+        report = LoadtestReport(concurrency=1, duration_s=1.0, mix=(1, 0, 0))
+        report.latencies = {"predict": [0.001]}
+        append_service_record(report, out, label="first")
+        append_service_record(report, out, label="second")
+        doc = json.loads(out.read_text())
+        assert [r["label"] for r in doc["runs"]] == ["first", "second"]
+        assert all(r["kind"] == "service" for r in doc["runs"])
+
+    def test_preserves_existing_bench_runs(self, tmp_path):
+        out = tmp_path / "BENCH_sweep.json"
+        out.write_text(json.dumps({"runs": [{"label": "bench run"}]}))
+        report = LoadtestReport(concurrency=1, duration_s=1.0, mix=(1, 0, 0))
+        append_service_record(report, out)
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0] == {"label": "bench run"}
+        assert doc["runs"][1]["kind"] == "service"
+
+    def test_recovers_from_corrupt_file(self, tmp_path):
+        out = tmp_path / "BENCH_sweep.json"
+        out.write_text("{corrupt")
+        report = LoadtestReport(concurrency=1, duration_s=1.0, mix=(1, 0, 0))
+        append_service_record(report, out)
+        doc = json.loads(out.read_text())
+        assert len(doc["runs"]) == 1
+
+
+class TestLiveRun:
+    def test_short_run_against_service(self, service_thread):
+        report = asyncio.run(run_loadtest(
+            "127.0.0.1", service_thread.port, concurrency=4,
+            duration_s=1.5, mix=(8, 1, 0), seed=0))
+        assert report.errors == 0, report.error_detail
+        assert report.total > 0
+        assert report.percentile_ms(0.95) > 0
+        # the server-side scrape came back populated
+        assert report.batch_count > 0
+        assert report.mean_batch >= 1.0
+        assert 0.0 <= report.lru_hit_ratio <= 1.0
+        text = render_report(report)
+        assert "batch-size distribution" in text
+
+    def test_refuses_when_no_server(self):
+        with pytest.raises(OSError):
+            asyncio.run(run_loadtest("127.0.0.1", 1, concurrency=1,
+                                     duration_s=0.1))

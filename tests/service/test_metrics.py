@@ -1,0 +1,107 @@
+"""Prometheus text-format rendering and parsing."""
+
+from repro.service.metrics import (Counter, Gauge, Histogram,
+                                   MetricsRegistry, ServiceMetrics,
+                                   parse_histogram)
+
+
+class TestCounter:
+    def test_labelled_increments(self):
+        c = Counter("x_total", "help text", ("endpoint", "status"))
+        c.inc(endpoint="/predict", status="200")
+        c.inc(2, endpoint="/predict", status="200")
+        c.inc(endpoint="/compare", status="422")
+        assert c.value(endpoint="/predict", status="200") == 3
+        assert c.total() == 4
+        text = "\n".join(c.render())
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{endpoint="/predict",status="200"} 3' in text
+
+    def test_unlabelled_renders_zero_by_default(self):
+        assert "x_total 0" in "\n".join(Counter("x_total", "h").render())
+
+    def test_label_escaping(self):
+        c = Counter("x_total", "h", ("msg",))
+        c.inc(msg='bad "quote"\nnewline')
+        text = "\n".join(c.render())
+        assert '\\"quote\\"' in text and "\\n" in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("inflight", "h")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value() == 1
+        assert "inflight 1" in "\n".join(g.render())
+
+    def test_callback_gauge(self):
+        g = Gauge("ratio", "h")
+        g.callback = lambda: 0.5
+        assert "ratio 0.5" in "\n".join(g.render())
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("lat", "h", (0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = "\n".join(h.render())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="10"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert h.count() == 4
+        assert h.mean() == (0.05 + 0.5 + 5.0 + 50.0) / 4
+
+    def test_labelled_series(self):
+        h = Histogram("lat", "h", (1.0,), ("endpoint",))
+        h.observe(0.5, endpoint="/predict")
+        h.observe(2.0, endpoint="/predict")
+        text = "\n".join(h.render())
+        assert 'lat_bucket{endpoint="/predict",le="1"} 1' in text
+        assert 'lat_count{endpoint="/predict"} 2' in text
+        assert h.count(endpoint="/predict") == 2
+
+    def test_roundtrip_through_parser(self):
+        h = Histogram("repro_batch_size", "h", (1.0, 2.0, 4.0))
+        for v in (1, 1, 3, 9):
+            h.observe(v)
+        buckets, total, count = parse_histogram(
+            "\n".join(h.render()), "repro_batch_size")
+        assert buckets == {"1": 2, "2": 2, "4": 3, "+Inf": 4}
+        assert total == 14
+        assert count == 4
+
+
+class TestServiceMetrics:
+    def test_render_contains_catalogue(self):
+        m = ServiceMetrics(version="9.9.9")
+        m.requests.inc(endpoint="/predict", status="200")
+        m.latency.observe(0.004, endpoint="/predict")
+        m.batch_size.observe(3)
+        m.lru_hits.inc(kind="predict")
+        m.lru_misses.inc(kind="predict")
+        text = m.render()
+        for name in ("repro_requests_total", "repro_request_duration_seconds",
+                     "repro_batch_size", "repro_lru_hits_total",
+                     "repro_lru_hit_ratio", "repro_inflight_requests",
+                     "repro_service_info"):
+            assert name in text, name
+        assert 'version="9.9.9"' in text
+        assert "repro_lru_hit_ratio 0.5" in text
+
+    def test_hit_ratio_zero_when_idle(self):
+        assert ServiceMetrics().hit_ratio() == 0.0
+
+
+class TestRegistry:
+    def test_render_joins_all_metrics(self):
+        r = MetricsRegistry()
+        r.register(Counter("a_total", "ha"))
+        r.register(Gauge("b", "hb"))
+        text = r.render()
+        assert text.index("a_total") < text.index("# HELP b hb")
+        assert text.endswith("\n")

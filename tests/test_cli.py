@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -114,6 +116,141 @@ class TestRoundtrip:
         assert clone.passed == res.passed
         assert [s.name for s in clone.series] == [s.name for s in res.series]
         assert (clone.series[0].ys == res.series[0].ys).all()
+
+
+class TestVersion:
+    def test_version_string_names_the_package(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_fallback_matches_pyproject(self):
+        """The uninstalled fallback literal must track pyproject.toml."""
+        import re
+        from pathlib import Path
+
+        from repro import __version__
+
+        text = (Path(__file__).resolve().parents[1]
+                / "pyproject.toml").read_text()
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.M)
+        assert match is not None
+        assert match.group(1) == __version__
+
+
+class TestJsonOutputs:
+    def test_machines_json(self, capsys):
+        assert main(["machines", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in doc["machines"]}
+        assert {"maspar", "gcel", "cm5", "t800"} <= names
+        maspar = next(m for m in doc["machines"] if m["name"] == "maspar")
+        assert maspar["simd"] is True and maspar["default_P"] == 1024
+
+    def test_cache_info_json(self, capsys):
+        main(["run", "fig14", "--scale", "0.3", "--no-plot"])
+        capsys.readouterr()
+        assert main(["cache", "info", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["entries"][0]["experiment"] == "fig14"
+        assert "root" in doc
+
+
+class TestBenchCompare:
+    @staticmethod
+    def _trajectory(path, runs):
+        path.write_text(json.dumps({"runs": runs}))
+        return str(path)
+
+    def test_regression_exits_3(self, tmp_path, capsys):
+        out = self._trajectory(tmp_path / "traj.json", [
+            {"label": "before", "total_s": 1.0,
+             "experiments": {"fig14": 1.0}},
+            {"label": "after", "total_s": 2.0,
+             "experiments": {"fig14": 2.0}},
+        ])
+        assert main(["bench", "--compare", "--out", out]) == 3
+        captured = capsys.readouterr()
+        assert "regression: fig14" in captured.err
+        assert "before" in captured.out and "after" in captured.out
+
+    def test_speedup_exits_0(self, tmp_path, capsys):
+        out = self._trajectory(tmp_path / "traj.json", [
+            {"label": "before", "total_s": 2.0,
+             "experiments": {"fig14": 2.0}},
+            {"label": "after", "total_s": 1.0,
+             "experiments": {"fig14": 1.0}},
+        ])
+        assert main(["bench", "--compare", "--out", out]) == 0
+        assert "2.00x" in capsys.readouterr().out
+
+    def test_service_records_are_skipped(self, tmp_path, capsys):
+        # a loadtest record between two bench runs must not break the diff
+        out = self._trajectory(tmp_path / "traj.json", [
+            {"label": "before", "total_s": 2.0,
+             "experiments": {"fig14": 2.0}},
+            {"kind": "service", "label": "loadtest", "rps": 4000.0},
+            {"label": "after", "total_s": 1.0,
+             "experiments": {"fig14": 1.0}},
+        ])
+        assert main(["bench", "--compare", "--out", out]) == 0
+        assert "before" in capsys.readouterr().out
+
+    def test_too_few_comparable_runs_exits_2(self, tmp_path, capsys):
+        out = self._trajectory(tmp_path / "traj.json", [
+            {"label": "only", "total_s": 1.0, "experiments": {"fig14": 1.0}},
+            {"kind": "service", "label": "loadtest", "rps": 4000.0},
+        ])
+        assert main(["bench", "--compare", "--out", out]) == 2
+        assert "needs two" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "--compare", "--out", missing]) == 2
+        assert "no trajectory file" in capsys.readouterr().err
+
+
+class TestServeLoadtestArguments:
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--port", "99999"],
+        ["serve", "--port", "abc"],
+        ["serve", "--workers", "0"],
+        ["serve", "--window-ms", "-1"],
+        ["serve", "--max-batch", "0"],
+        ["serve", "--lru-size", "0"],
+        ["loadtest", "--concurrency", "0"],
+        ["loadtest", "--duration", "0"],
+        ["loadtest", "--port", "-1"],
+        ["loadtest", "--mix", "1:2"],
+        ["loadtest", "--mix", "0:0:0"],
+        ["loadtest", "--mix", "a:b:c"],
+    ])
+    def test_bad_arguments_exit_2(self, argv):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(argv)
+        assert exc_info.value.code == 2
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 2
+        assert args.window_ms == 2.0
+        assert args.max_batch == 256
+        assert not args.no_warm
+
+    def test_loadtest_mix_is_parsed(self):
+        args = build_parser().parse_args(["loadtest", "--mix", "4:2:1"])
+        assert args.mix == (4, 2, 1)
+
+    def test_loadtest_without_server_exits_2(self, capsys):
+        code = main(["loadtest", "--port", "1", "--concurrency", "1",
+                     "--duration", "0.1", "--no-record"])
+        assert code == 2
+        assert "repro serve" in capsys.readouterr().err
 
 
 class TestAttributeCommand:
