@@ -131,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "pstats file per experiment under "
                           "<cache-dir>/profiles (implies --no-cache, "
                           "--jobs 1)")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="deterministic fault-injection plan, e.g. "
+                          "'worker-crash:p=0.2,seed=7' (default: "
+                          "$REPRO_FAULTS; see docs/TESTING.md)")
 
     bench = sub.add_parser(
         "bench",
@@ -200,6 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-warm", action="store_true",
                        help="skip pre-fitting the paper calibrations at "
                             "boot")
+    serve.add_argument("--faults", default=None, metavar="PLAN",
+                       help="deterministic fault-injection plan, e.g. "
+                            "'dispatch-error:p=0.1,seed=3' (default: "
+                            "$REPRO_FAULTS; see docs/TESTING.md)")
+    serve.add_argument("--request-timeout", type=_positive_float,
+                       default=30.0, metavar="S",
+                       help="per-request deadline on /predict and "
+                            "/compare; past it the client gets 503 + "
+                            "Retry-After (default 30 s)")
 
     lt = sub.add_parser(
         "loadtest",
@@ -264,8 +277,10 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
              json_path: str | None = None, *, jobs: int | None = None,
              use_cache: bool = True, force: bool = False,
              cache_dir: str | None = None, profile: bool = False,
-             timing_summary: bool = False) -> int:
-    from .core.errors import ExperimentError
+             timing_summary: bool = False,
+             faults: str | None = None) -> int:
+    from .core.errors import ExperimentError, FaultError
+    from .faults import FaultPlan, plan_from_env
     from .runner import ResultCache, run_experiments
 
     if not ids:
@@ -276,13 +291,15 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
         jobs = os.cpu_count() or 1
     cache = ResultCache(cache_dir) if use_cache and not profile else None
     try:
+        plan = FaultPlan.parse(faults) if faults else plan_from_env()
         if profile:
             outcomes = _run_profiled(ids, scale=scale, seed=seed,
                                      cache_dir=cache_dir)
         else:
             outcomes = run_experiments(ids, scale=scale, seed=seed,
-                                       jobs=jobs, cache=cache, force=force)
-    except ExperimentError as exc:
+                                       jobs=jobs, cache=cache, force=force,
+                                       faults=plan)
+    except (ExperimentError, FaultError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     failed = 0
@@ -488,13 +505,23 @@ def _cmd_machines(as_json: bool = False) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.errors import FaultError
+    from .faults import FaultPlan, plan_from_env
     from .service import ServiceConfig, run_service
 
+    try:
+        plan = (FaultPlan.parse(args.faults) if args.faults
+                else plan_from_env())
+    except FaultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return run_service(ServiceConfig(
         host=args.host, port=args.port, workers=args.workers,
         window_ms=args.window_ms, max_batch=args.max_batch,
         lru_size=args.lru_size, cache_dir=args.cache_dir,
-        warm=not args.no_warm))
+        warm=not args.no_warm,
+        faults=plan.render() if plan else None,
+        request_timeout_s=args.request_timeout))
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -542,7 +569,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                         args.json, jobs=args.jobs,
                         use_cache=not args.no_cache, force=args.force,
                         cache_dir=args.cache_dir, profile=args.profile,
-                        timing_summary=args.run_all)
+                        timing_summary=args.run_all, faults=args.faults)
     if args.command == "bench":
         return _cmd_bench(args.ids, quick=args.quick, scale=args.scale,
                           seed=args.seed, out=args.out, label=args.label,

@@ -16,6 +16,8 @@ __all__ = [
     "MailboxError",
     "CalibrationError",
     "ExperimentError",
+    "FaultError",
+    "FaultInjected",
 ]
 
 
@@ -53,3 +55,24 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured with unusable parameters."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed (unknown point, bad parameter)."""
+
+
+class FaultInjected(ReproError):
+    """A deterministic injected fault fired (see :mod:`repro.faults`).
+
+    Raised *on purpose* at an instrumented fault point; recovery code
+    treats it as a transient failure.  It must pickle cleanly because it
+    crosses process boundaries from pool workers to the parent.
+    """
+
+    def __init__(self, point: str, hit: int = 0):
+        super().__init__(f"injected fault at {point!r} (hit #{hit})")
+        self.point = point
+        self.hit = hit
+
+    def __reduce__(self):
+        return (FaultInjected, (self.point, self.hit))

@@ -1,0 +1,62 @@
+"""Deterministic, seedable fault injection + the recovery primitives.
+
+The chaos-testing subsystem (see docs/TESTING.md):
+
+* :mod:`.plan` — ``FaultPlan``/``FaultSpec`` and the
+  ``point:p=…,count=…,seed=…,delay=…`` plan syntax;
+* :mod:`.injector` — the process-global injector behind every
+  ``fault_point``/``fault_flag`` call site;
+* :mod:`.clock` — injectable time (``FakeClock`` for tests);
+* :mod:`.retry` — bounded exponential backoff with deterministic jitter;
+* :mod:`.breaker` — the per-key circuit breaker used by the service.
+
+Activation: ``repro run --faults PLAN``, ``repro serve --faults PLAN``
+or ``$REPRO_FAULTS``.  Every recovery path preserves bit-identical
+results versus the fault-free run — experiments are pure functions of
+``(id, scale, seed)``, so a respawned worker, an in-process fallback or
+a cache recompute all land on the same bytes.
+"""
+
+from ..core.errors import FaultError, FaultInjected
+from .breaker import CircuitBreaker
+from .clock import Clock, FakeClock, MonotonicClock, SYSTEM_CLOCK
+from .injector import (
+    ENV_VAR,
+    FaultInjector,
+    active,
+    corrupt_text,
+    deactivate,
+    fault_flag,
+    fault_point,
+    faults_active,
+    install,
+    plan_from_env,
+)
+from .plan import KNOWN_POINTS, FaultPlan, FaultSpec
+from .retry import RetryExhausted, RetryPolicy, retry_call
+
+__all__ = [
+    "FaultError",
+    "FaultInjected",
+    "CircuitBreaker",
+    "Clock",
+    "FakeClock",
+    "MonotonicClock",
+    "SYSTEM_CLOCK",
+    "ENV_VAR",
+    "FaultInjector",
+    "active",
+    "corrupt_text",
+    "deactivate",
+    "fault_flag",
+    "fault_point",
+    "faults_active",
+    "install",
+    "plan_from_env",
+    "KNOWN_POINTS",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryExhausted",
+    "RetryPolicy",
+    "retry_call",
+]

@@ -1,0 +1,71 @@
+"""A per-key circuit breaker for the serving layer.
+
+Classic three-state machine (closed → open → half-open), driven by an
+injectable clock.  The service keeps one breaker per prediction key: a
+key whose evaluations keep failing is isolated — its requests are
+rejected fast with 503 + ``Retry-After`` instead of re-burning a batch
+worker — while every other key keeps being served.  After ``reset_s``
+one probe request is let through; success closes the breaker, failure
+re-opens it.
+"""
+
+from __future__ import annotations
+
+from .clock import Clock, SYSTEM_CLOCK
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Trips after ``threshold`` consecutive failures; probes after
+    ``reset_s`` seconds."""
+
+    def __init__(self, threshold: int = 5, reset_s: float = 30.0,
+                 clock: Clock | None = None):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if reset_s < 0:
+            raise ValueError(f"reset_s must be >= 0, got {reset_s}")
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.clock = clock or SYSTEM_CLOCK
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        An open breaker past its reset window moves to half-open and
+        admits the caller as the probe.
+        """
+        if self.state == OPEN:
+            if self.clock.time() - self.opened_at >= self.reset_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.state = OPEN
+            self.opened_at = self.clock.time()
+            self.failures = 0
+
+    def retry_after_s(self) -> float:
+        """Seconds a client should wait before retrying this key."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.reset_s - (self.clock.time() - self.opened_at))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self.failures})")

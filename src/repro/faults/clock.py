@@ -1,0 +1,65 @@
+"""Injectable time sources for retry, breaker and fault-delay logic.
+
+Everything in the recovery stack that waits or measures elapsed time
+does so through a :class:`Clock`, so the chaos tests can substitute a
+:class:`FakeClock` and assert *exact* backoff schedules — bounded
+attempt counts and total sleep — without ever actually sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "FakeClock", "SYSTEM_CLOCK"]
+
+
+class Clock:
+    """Minimal time interface: a monotonic ``time()`` and a ``sleep()``."""
+
+    def time(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def time(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A virtual clock: ``sleep`` advances time instantly and is recorded.
+
+    ``sleeps`` is the exact sequence of requested delays — what the chaos
+    suite inspects to prove retries are bounded and backoffs grow.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def time(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self.now += max(0.0, float(seconds))
+
+    @property
+    def total_slept(self) -> float:
+        return sum(self.sleeps)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (breaker tests)."""
+        self.now += float(seconds)
+
+
+#: the process-wide default clock.
+SYSTEM_CLOCK = MonotonicClock()

@@ -1,0 +1,174 @@
+"""The process-global fault injector behind every fault point.
+
+Call sites are instrumented with two one-liners:
+
+* :func:`fault_point` — raises :class:`~repro.core.errors.FaultInjected`
+  (or sleeps, for ``delay`` specs) when the active plan says so;
+* :func:`fault_flag` — returns True when the point fires, for sites
+  whose fault is an *action* (corrupt these bytes, evict this LRU)
+  rather than an exception.
+
+With no plan installed both are a single global-is-None check, so the
+instrumented hot paths pay nothing in production.
+
+Determinism: each point owns a ``random.Random`` seeded by the string
+``"{seed}:{point}"`` (string seeding is hashed with SHA-512 by CPython,
+so it is stable across processes and runs, unlike ``hash()``).  The
+decision sequence per point is therefore a pure function of the plan.
+Forked pool workers inherit the installed plan; each process replays
+its own per-point schedule.
+
+State is guarded by a lock — the service fires points from executor
+threads while the event loop consults flags.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+
+from ..core.errors import FaultInjected
+from .clock import Clock, SYSTEM_CLOCK
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "install", "deactivate", "active",
+           "faults_active", "fault_point", "fault_flag", "plan_from_env",
+           "corrupt_text"]
+
+#: environment variable holding a fault plan (``repro run``/``serve``
+#: read it when ``--faults`` is not given).
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjector:
+    """Evaluates one :class:`FaultPlan`, keeping per-point statistics."""
+
+    def __init__(self, plan: FaultPlan, clock: Clock | None = None):
+        self.plan = plan
+        self.clock = clock or SYSTEM_CLOCK
+        self._lock = threading.Lock()
+        self._rngs = {point: random.Random(f"{spec.seed}:{point}")
+                      for point, spec in plan.specs.items()}
+        #: per-point counters: visits to the point vs. actual fires.
+        self.visits: dict[str, int] = {p: 0 for p in plan.specs}
+        self.fired: dict[str, int] = {p: 0 for p in plan.specs}
+        #: optional callback ``(point) -> None`` on every fire (metrics).
+        self.on_fire = None
+
+    # ------------------------------------------------------------------
+    def _decide(self, point: str) -> FaultSpec | None:
+        """One deterministic draw; returns the spec when the point fires."""
+        spec = self.plan.get(point)
+        if spec is None:
+            return None
+        with self._lock:
+            self.visits[point] += 1
+            if spec.count is not None and self.fired[point] >= spec.count:
+                return None
+            if spec.probability < 1.0 \
+                    and self._rngs[point].random() >= spec.probability:
+                return None
+            self.fired[point] += 1
+            hit = self.fired[point]
+        if self.on_fire is not None:
+            self.on_fire(point)
+        return spec.__class__(point=spec.point, probability=spec.probability,
+                              count=hit, seed=spec.seed,
+                              delay_s=spec.delay_s)
+
+    def hit(self, point: str) -> None:
+        """Fire the point: sleep for ``delay`` specs, raise otherwise."""
+        spec = self._decide(point)
+        if spec is None:
+            return
+        if spec.delay_s > 0:
+            self.clock.sleep(spec.delay_s)
+            return
+        raise FaultInjected(point, spec.count or 0)
+
+    def flag(self, point: str) -> bool:
+        """Fire the point as a boolean (call-site-defined action)."""
+        return self._decide(point) is not None
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {p: {"visits": self.visits[p], "fired": self.fired[p]}
+                    for p in self.plan.specs}
+
+
+# ----------------------------------------------------------------------
+# Process-global plumbing
+# ----------------------------------------------------------------------
+_active: FaultInjector | None = None
+
+
+def install(plan: FaultPlan | str, clock: Clock | None = None) \
+        -> FaultInjector:
+    """Activate ``plan`` process-wide; returns the live injector."""
+    global _active
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _active = FaultInjector(plan, clock=clock)
+    return _active
+
+
+def deactivate() -> None:
+    """Remove the active plan (all fault points become no-ops)."""
+    global _active
+    _active = None
+
+
+def active() -> FaultInjector | None:
+    """The live injector, or None."""
+    return _active
+
+
+@contextmanager
+def faults_active(plan: FaultPlan | str | None, clock: Clock | None = None):
+    """Scope a plan to a ``with`` block, restoring the previous one.
+
+    ``plan=None`` is a no-op passthrough (keeps call sites branch-free).
+    """
+    global _active
+    if plan is None:
+        yield _active
+        return
+    previous = _active
+    injector = install(plan, clock=clock)
+    try:
+        yield injector
+    finally:
+        _active = previous
+
+
+def fault_point(point: str) -> None:
+    """Raise/sleep at an instrumented site if the active plan says so."""
+    if _active is not None:
+        _active.hit(point)
+
+
+def fault_flag(point: str) -> bool:
+    """True when the site should apply its own fault action."""
+    return _active is not None and _active.flag(point)
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The plan in ``$REPRO_FAULTS``, or None when unset/empty."""
+    text = os.environ.get(ENV_VAR, "").strip()
+    return FaultPlan.parse(text) if text else None
+
+
+def corrupt_text(payload: str, *, seed: int = 0) -> str:
+    """Deterministically flip a slice in the middle of ``payload``.
+
+    Used by the cache-write fault action: the result is valid ASCII but
+    fails both JSON parsing *or* checksum verification — exactly the
+    kind of torn write the self-healing read path must survive.
+    """
+    if len(payload) < 8:
+        return "#corrupt#"
+    rng = random.Random(f"corrupt:{seed}")
+    lo = rng.randrange(2, max(3, len(payload) // 2))
+    return payload[:lo] + "\x00garbage\x00" + payload[lo + 1:]

@@ -1,0 +1,81 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+The recovery side of the fault framework: pool-worker respawns, cache
+recomputes and service dispatch retries all run under a
+:class:`RetryPolicy`, so attempt counts are *provably* bounded (no retry
+storms) and the backoff schedule is a pure function of the seed — the
+chaos tests replay it through a :class:`~repro.faults.clock.FakeClock`
+and assert the exact delays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .clock import Clock, SYSTEM_CLOCK
+
+__all__ = ["RetryPolicy", "RetryExhausted", "retry_call"]
+
+
+class RetryExhausted(Exception):
+    """All attempts failed; ``__cause__`` is the last failure."""
+
+    def __init__(self, attempts: int):
+        super().__init__(f"retry gave up after {attempts} attempt(s)")
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """``max_attempts`` tries, delays ``base * 2^i`` capped + jittered.
+
+    Jitter is *deterministic*: drawn from ``random.Random`` seeded by
+    ``seed``, so two runs with the same policy sleep identically.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (``max_attempts - 1`` sleeps)."""
+        rng = random.Random(f"retry:{self.seed}")
+        out = []
+        for i in range(self.max_attempts - 1):
+            base = min(self.base_delay_s * (2 ** i), self.max_delay_s)
+            out.append(base * (1.0 + self.jitter * rng.random()))
+        return out
+
+
+def retry_call(fn, *, policy: RetryPolicy, clock: Clock | None = None,
+               retry_on: tuple = (Exception,), on_retry=None):
+    """Run ``fn(attempt)`` until it returns, under ``policy``.
+
+    Only ``retry_on`` exceptions are retried — anything else propagates
+    immediately (deterministic failures must not burn attempts).  After
+    the last attempt a :class:`RetryExhausted` chains the final error.
+    ``on_retry(attempt, exc)`` fires before each backoff sleep.
+    """
+    clock = clock or SYSTEM_CLOCK
+    delays = policy.delays()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt)
+        except retry_on as exc:
+            last = exc
+            if attempt < len(delays):
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                clock.sleep(delays[attempt])
+    raise RetryExhausted(policy.max_attempts) from last

@@ -10,10 +10,20 @@ freshly computed ones — which the golden tests assert.
 The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.  Writes
 are atomic (temp file + ``os.replace``) so a crashed run never leaves a
 truncated entry behind.
+
+Self-healing reads: every entry stores a SHA-256 checksum of its result
+payload, verified on ``get``.  An entry that fails to parse or to verify
+(bit-rot, torn write, stale checksum) is *quarantined* — moved aside
+under ``<root>/quarantine/`` for post-mortems — and reported as a miss,
+so the caller recomputes and the next ``put`` heals the slot.  The
+chaos suite drives this path via the ``cache-corrupt``/``cache-truncate``
+/``cache-stale`` fault points, which mangle the payload between
+serialisation and the atomic rename.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -21,11 +31,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.errors import ExperimentError
+from ..faults import fault_flag
 from ..validation.series import ExperimentResult
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_root"]
 
-_FORMAT = 1
+_FORMAT = 2  # v2: adds the result-payload checksum
 
 
 def default_cache_root() -> Path:
@@ -36,6 +47,17 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def _result_checksum(result_doc: dict) -> str:
+    """SHA-256 of the canonical result serialisation.
+
+    Computed over the exact compact JSON text that is stored, so a
+    parse → re-dump on read reproduces it byte for byte (JSON object
+    order is preserved and floats round-trip via ``repr``).
+    """
+    text = json.dumps(result_doc, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/store counters of one :class:`ResultCache` instance."""
@@ -43,6 +65,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: entries moved aside after failing parse/checksum verification.
+    quarantined: int = 0
     #: per-experiment outcome, id -> "hit" | "miss"
     outcomes: dict[str, str] = field(default_factory=dict)
 
@@ -54,7 +78,10 @@ class CacheStats:
         self.outcomes[exp_id] = "hit" if hit else "miss"
 
     def summary(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es)"
+        base = f"{self.hits} hit(s), {self.misses} miss(es)"
+        if self.quarantined:
+            base += f", {self.quarantined} quarantined"
+        return base
 
 
 class ResultCache:
@@ -70,16 +97,39 @@ class ResultCache:
             raise ExperimentError(f"malformed cache key {key!r}")
         return self.root / "results" / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed entry aside (never raises; best effort)."""
+        dest_dir = self.root / "quarantine"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
+            self.stats.quarantined += 1
+        except OSError:
+            pass
+
     def get(self, key: str, exp_id: str = "?") -> ExperimentResult | None:
-        """The cached result under ``key``, or None (corrupt entries miss)."""
+        """The cached result under ``key``, or None.
+
+        Corrupt entries — unparseable JSON, wrong format, or a checksum
+        mismatch — are quarantined and reported as a miss, so callers
+        transparently recompute.
+        """
         path = self._path(key)
         try:
             with open(path) as fh:
-                doc = json.load(fh)
+                raw = fh.read()
+        except OSError:
+            self.stats.record(exp_id, hit=False)
+            return None
+        try:
+            doc = json.loads(raw)
             if doc.get("format") != _FORMAT:
                 raise ValueError("unknown cache format")
+            if doc.get("checksum") != _result_checksum(doc["result"]):
+                raise ValueError("checksum mismatch")
             result = ExperimentResult.from_dict(doc["result"])
-        except (OSError, ValueError, KeyError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.stats.record(exp_id, hit=False)
             return None
         self.stats.record(exp_id, hit=True)
@@ -90,12 +140,23 @@ class ResultCache:
         """Store ``result`` under ``key`` atomically; returns the path."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        doc = {"format": _FORMAT, "key": key, "meta": meta or {},
-               "result": result.to_dict()}
+        result_doc = result.to_dict()
+        checksum = _result_checksum(result_doc)
+        if fault_flag("cache-stale"):
+            checksum = "0" * 64
+        doc = {"format": _FORMAT, "key": key, "checksum": checksum,
+               "meta": meta or {}, "result": result_doc}
+        payload = json.dumps(doc, separators=(",", ":"))
+        if fault_flag("cache-truncate"):
+            payload = payload[: len(payload) // 2]
+        if fault_flag("cache-corrupt"):
+            from ..faults import corrupt_text
+
+            payload = corrupt_text(payload)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(doc, fh, separators=(",", ":"))
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -122,6 +183,13 @@ class ResultCache:
                 except (OSError, ValueError):
                     continue
         return sorted(out, key=lambda e: (e.get("experiment", ""), e["key"]))
+
+    def quarantined(self) -> list[Path]:
+        """The quarantined entry files (newest last)."""
+        qdir = self.root / "quarantine"
+        if not qdir.is_dir():
+            return []
+        return sorted(qdir.glob("*.json"), key=lambda p: p.stat().st_mtime)
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

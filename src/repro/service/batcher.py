@@ -31,6 +31,9 @@ import asyncio
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
+from ..core.errors import FaultInjected
+from ..faults import RetryPolicy, fault_flag
+
 __all__ = ["LRUCache", "MicroBatcher"]
 
 
@@ -64,6 +67,10 @@ class LRUCache:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
+    def clear(self) -> None:
+        """Drop every entry (the ``lru-storm`` fault's eviction storm)."""
+        self._data.clear()
+
 
 class MicroBatcher:
     """Window-based request coalescing over a sharded worker pool.
@@ -75,25 +82,42 @@ class MicroBatcher:
 
     def __init__(self, evaluate, *, window_s: float = 0.002,
                  max_batch: int = 256, workers: int = 2,
-                 lru_size: int = 4096, metrics=None):
+                 lru_size: int = 4096, metrics=None,
+                 retry: RetryPolicy | None = None,
+                 saturation_limit: int = 2048, sleep=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if saturation_limit < 1:
+            raise ValueError(
+                f"saturation_limit must be >= 1, got {saturation_limit}")
         self._evaluate = evaluate
         self.window_s = window_s
         self.max_batch = max_batch
         self.workers = workers
         self.cache = LRUCache(lru_size)
         self.metrics = metrics
+        #: bounded backoff for transient (injected) evaluator failures.
+        self.retry = retry or RetryPolicy(max_attempts=2, base_delay_s=0.01,
+                                          max_delay_s=0.1)
+        #: in-flight futures past this → the router sheds load with 503.
+        self.saturation_limit = saturation_limit
+        self._sleep = sleep or asyncio.sleep
         self._in_q: asyncio.Queue = asyncio.Queue()
         self._job_q: asyncio.Queue = asyncio.Queue()
         self._tasks: list[asyncio.Task] = []
         self._pending: set[asyncio.Future] = set()
         self._executor: ThreadPoolExecutor | None = None
         self._started = False
+
+    @property
+    def saturated(self) -> bool:
+        """True when the dispatcher holds more in-flight requests than
+        ``saturation_limit`` — the graceful-degradation signal."""
+        return len(self._pending) >= self.saturation_limit
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -155,6 +179,10 @@ class MicroBatcher:
         if self.metrics is not None:
             self.metrics.batch_size.observe(len(batch))
             self.metrics.batches.inc()
+        if fault_flag("lru-storm"):
+            # simulated eviction storm: every cached answer vanishes at
+            # once, so this whole batch recomputes (bit-identically)
+            self.cache.clear()
         jobs: dict[tuple, list] = {}
         kinds: dict[tuple, str] = {}
         for kind, key, payload, fut in batch:
@@ -180,11 +208,7 @@ class MicroBatcher:
             jobs, kinds = await self._job_q.get()
             items = [(kinds[key], key, payload)
                      for key, (payload, _) in jobs.items()]
-            try:
-                results = await loop.run_in_executor(
-                    self._executor, self._evaluate, items)
-            except Exception as exc:  # noqa: BLE001 — whole-batch failure
-                results = {key: exc for _, key, _ in items}
+            results = await self._evaluate_resilient(loop, items)
             for key, (_, futs) in jobs.items():
                 got = results.get(
                     key, KeyError(f"evaluator returned nothing for {key!r}"))
@@ -197,3 +221,28 @@ class MicroBatcher:
                         fut.set_exception(got)
                     else:
                         fut.set_result(got)
+
+    async def _evaluate_resilient(self, loop, items: list) -> dict:
+        """Run the evaluator, retrying *transient* failures boundedly.
+
+        Only injected faults (:class:`FaultInjected` — the chaos suite's
+        stand-in for a died batch worker) are retried, under the
+        batcher's :class:`~repro.faults.RetryPolicy` with backoff via
+        the injectable ``sleep``; deterministic evaluator errors fail
+        the whole batch at once, exactly as before.  Attempt counts are
+        therefore bounded by construction — no retry storms.
+        """
+        delays = self.retry.delays()
+        for attempt in range(self.retry.max_attempts):
+            try:
+                return await loop.run_in_executor(
+                    self._executor, self._evaluate, items)
+            except FaultInjected as exc:
+                last: Exception = exc
+                if attempt < len(delays):
+                    if self.metrics is not None:
+                        self.metrics.retries.inc(site="dispatch")
+                    await self._sleep(delays[attempt])
+            except Exception as exc:  # noqa: BLE001 — whole-batch failure
+                return {key: exc for _, key, _ in items}
+        return {key: last for _, key, _ in items}

@@ -85,8 +85,12 @@ class Response:
                    content_type=content_type)
 
     @classmethod
-    def error(cls, status: int, message: str) -> "Response":
-        return cls.json({"error": message, "status": status}, status=status)
+    def error(cls, status: int, message: str,
+              headers: dict[str, str] | None = None) -> "Response":
+        resp = cls.json({"error": message, "status": status}, status=status)
+        if headers:
+            resp.headers.update(headers)
+        return resp
 
 
 async def read_request(reader) -> Request | None:

@@ -20,7 +20,15 @@ metric                                    type       labels
 ``repro_lru_hit_ratio``                   gauge      —
 ``repro_inflight_requests``               gauge      —
 ``repro_service_info``                    gauge      ``version``
+``repro_faults_injected_total``           counter    ``point``
+``repro_retries_total``                   counter    ``site``
+``repro_rejected_total``                  counter    ``reason``
 ========================================  =========  ======================
+
+The last three instrument the fault-injection/recovery layer
+(:mod:`repro.faults`): how often each fault point fired, how many
+bounded retries the dispatcher spent, and why requests were shed
+(``breaker`` | ``saturated`` | ``deadline``).
 """
 
 from __future__ import annotations
@@ -227,6 +235,14 @@ class ServiceMetrics:
         ratio.callback = self.hit_ratio
         self.inflight = r.register(Gauge(
             "repro_inflight_requests", "Requests currently being handled."))
+        self.faults = r.register(Counter(
+            "repro_faults_injected_total",
+            "Deterministic fault-point fires.", ("point",)))
+        self.retries = r.register(Counter(
+            "repro_retries_total", "Bounded recovery retries.", ("site",)))
+        self.rejected = r.register(Counter(
+            "repro_rejected_total",
+            "Requests shed for graceful degradation.", ("reason",)))
         info = r.register(Gauge(
             "repro_service_info", "Service metadata.", ("version",)))
         info.set(1, version=version)

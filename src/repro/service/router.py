@@ -11,9 +11,10 @@ through an executor.
 from __future__ import annotations
 
 import asyncio
+import math
 
 from .. import __version__
-from ..core.errors import ExperimentError, ReproError
+from ..core.errors import ExperimentError, FaultInjected, ReproError
 from ..machines import machine_catalog
 from .httpd import HttpError, Request, Response
 from .oracle import ALGORITHMS, MODELS, OracleError, PredictRequest
@@ -138,6 +139,53 @@ async def experiment_detail(app, request: Request, id: str) -> Response:
     })
 
 
+def _retry_later(reason: str, after_s: float) -> Response:
+    """A 503 with ``Retry-After`` — the graceful-degradation answer."""
+    return Response.error(
+        503, reason,
+        headers={"Retry-After": str(max(1, math.ceil(after_s)))})
+
+
+async def _submit_guarded(app, kind: str, key: tuple, req) -> Response:
+    """Dispatch one prediction with the full degradation ladder.
+
+    1. the key's circuit breaker: an open circuit fails fast (503 +
+       Retry-After sized to the remaining cool-down) without burning a
+       batch worker on a key that keeps failing;
+    2. dispatcher saturation: too many in-flight futures → shed load
+       immediately rather than queue unboundedly;
+    3. per-request deadline: a submit that outlives
+       ``request_timeout_s`` is abandoned (its future is cancelled, so
+       the batcher skips it) and answered 503 + Retry-After.
+
+    Successes and failures feed the breaker, so repeated evaluator
+    faults on one key trip it while other keys keep flowing.
+    """
+    cfg = app.config
+    breaker = app.breaker_for(key)
+    if not breaker.allow():
+        app.metrics.rejected.inc(reason="breaker")
+        return _retry_later(
+            f"circuit open for this {kind} key", breaker.retry_after_s())
+    if app.batcher.saturated:
+        app.metrics.rejected.inc(reason="saturated")
+        return _retry_later("dispatcher saturated", cfg.retry_after_s)
+    try:
+        result = await asyncio.wait_for(
+            app.batcher.submit(kind, key, req), cfg.request_timeout_s)
+    except asyncio.TimeoutError:
+        breaker.record_failure()
+        app.metrics.rejected.inc(reason="deadline")
+        return _retry_later(
+            f"deadline of {cfg.request_timeout_s:g}s exceeded",
+            cfg.retry_after_s)
+    except Exception:
+        breaker.record_failure()
+        raise
+    breaker.record_success()
+    return Response.json(result)
+
+
 async def predict(app, request: Request) -> Response:
     try:
         req = PredictRequest.from_json(request.json())
@@ -145,8 +193,7 @@ async def predict(app, request: Request) -> Response:
         raise HttpError(422, str(exc)) from exc
     key = ("predict",) + (req.machine, req.model, req.algorithm,
                           req.size, req.seed)
-    result = await app.batcher.submit("predict", key, req)
-    return Response.json(result)
+    return await _submit_guarded(app, "predict", key, req)
 
 
 async def compare(app, request: Request) -> Response:
@@ -155,8 +202,7 @@ async def compare(app, request: Request) -> Response:
     except OracleError as exc:
         raise HttpError(422, str(exc)) from exc
     key = ("compare",) + req.sim_key
-    result = await app.batcher.submit("compare", key, req)
-    return Response.json(result)
+    return await _submit_guarded(app, "compare", key, req)
 
 
 async def metrics(app, request: Request) -> Response:
@@ -180,6 +226,10 @@ def service_error_response(exc: Exception) -> Response:
     """Map handler exceptions onto HTTP statuses."""
     if isinstance(exc, HttpError):
         return Response.error(exc.status, exc.message)
+    if isinstance(exc, FaultInjected):
+        # a transient injected failure that outlived the bounded retries:
+        # tell the client to come back, not that its request was bad
+        return _retry_later(f"transient failure: {exc}", 1.0)
     if isinstance(exc, (OracleError, ReproError, ValueError)):
         return Response.error(422, str(exc))
     return Response.error(500, f"{type(exc).__name__}: {exc}")

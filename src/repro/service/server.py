@@ -23,6 +23,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from .. import __version__
+from ..faults import (CircuitBreaker, FaultPlan, RetryPolicy, deactivate,
+                      fault_point, install)
 from .batcher import MicroBatcher
 from .httpd import HttpError, Response, encode_response, read_request
 from .metrics import ServiceMetrics
@@ -49,6 +51,19 @@ class ServiceConfig:
     cache_dir: str | None = None
     warm: bool = True
     drain_timeout_s: float = 10.0
+    #: fault plan text (``repro serve --faults``), installed at boot.
+    faults: str | None = None
+    #: per-request deadline on /predict and /compare; past it the client
+    #: gets 503 + Retry-After instead of waiting forever.
+    request_timeout_s: float = 30.0
+    #: in-flight requests past this → immediate 503 + Retry-After.
+    saturation_limit: int = 2048
+    #: Retry-After seconds suggested on saturation/deadline rejections.
+    retry_after_s: float = 1.0
+    #: per-key circuit breaker: consecutive failures to trip, seconds
+    #: before a half-open probe.
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
 
 
 class ServiceApp:
@@ -57,14 +72,25 @@ class ServiceApp:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.metrics = ServiceMetrics(version=__version__)
+        self._injector = None
+        if config.faults:
+            self._injector = install(FaultPlan.parse(config.faults))
+            self._injector.on_fire = \
+                lambda point: self.metrics.faults.inc(point=point)
         self.batcher = MicroBatcher(
-            evaluate_batch,
+            self._evaluate,
             window_s=config.window_ms / 1000.0,
             max_batch=config.max_batch,
             workers=config.workers,
             lru_size=config.lru_size,
-            metrics=self.metrics)
+            metrics=self.metrics,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                              max_delay_s=0.1),
+            saturation_limit=config.saturation_limit)
         self.router = default_router()
+        #: per-prediction-key circuit breakers (fault isolation: one
+        #: poisoned key never takes down its neighbours).
+        self.breakers: dict[tuple, CircuitBreaker] = {}
         # experiment runs are rarer and heavier than predictions: one
         # executor thread keeps them off both the loop and the batcher
         self.executor = ThreadPoolExecutor(
@@ -81,6 +107,40 @@ class ServiceApp:
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self._started_at
+
+    def _evaluate(self, items):
+        """The batch evaluator, instrumented with dispatch fault points.
+
+        Runs on an executor thread.  ``dispatch-slow`` sleeps (a stuck
+        batch worker), ``dispatch-error`` raises (a died one); the
+        batcher's bounded retry absorbs both.
+        """
+        fault_point("dispatch-slow")
+        fault_point("dispatch-error")
+        return evaluate_batch(items)
+
+    def breaker_for(self, key: tuple) -> CircuitBreaker:
+        """The circuit breaker isolating one prediction key.
+
+        The map is pruned of healthy (closed, no-failure) breakers when
+        it grows past 4096 entries, bounding memory under key churn.
+        """
+        breaker = self.breakers.get(key)
+        if breaker is None:
+            if len(self.breakers) >= 4096:
+                self.breakers = {
+                    k: b for k, b in self.breakers.items()
+                    if b.state != "closed" or b.failures > 0}
+            breaker = self.breakers[key] = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                reset_s=self.config.breaker_reset_s)
+        return breaker
+
+    def close(self) -> None:
+        """Release process-global state installed at boot."""
+        if self._injector is not None:
+            deactivate()
+            self._injector = None
 
     def run_experiment(self, exp_id: str, scale: float, seed: int):
         """Blocking experiment run (executor thread), via the runner cache."""
@@ -141,6 +201,7 @@ class ReproService:
                 await asyncio.gather(*pending, return_exceptions=True)
         await self.app.batcher.stop()
         self.app.executor.shutdown(wait=True)
+        self.app.close()
 
     async def serve_forever(self) -> None:
         """Run until :meth:`stop` (usually via a signal handler)."""

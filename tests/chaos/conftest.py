@@ -1,0 +1,55 @@
+"""Shared fixtures for the chaos suite.
+
+Every test here activates a deterministic :class:`repro.faults.FaultPlan`
+and asserts that the recovery layer restores the *exact* fault-free
+behaviour: bit-identical results, bounded attempt counts (via
+:class:`~repro.faults.FakeClock` — no real sleeping for backoff), and
+the documented exit codes / HTTP statuses.  Reproducing any failure
+needs only the plan string printed in the test id.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import FakeClock, deactivate
+from repro.runner.pool import shutdown_pool
+
+
+@pytest.fixture(autouse=True)
+def _fault_hygiene():
+    """No plan leaks into or out of a chaos test, and no worker pool
+    primed with one survives it."""
+    deactivate()
+    yield
+    deactivate()
+    shutdown_pool()
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+def http(port, method, path, body=None, timeout=60.0):
+    """One request; returns ``(status, parsed-or-raw body, headers)``.
+
+    Unlike the service suite's helper this keeps the response headers —
+    the chaos tests assert ``Retry-After`` on degradation responses.
+    """
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method,
+        data=json.dumps(body).encode() if body is not None else None)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            status, raw, headers = resp.status, resp.read(), resp.headers
+    except urllib.error.HTTPError as exc:
+        status, raw, headers = exc.code, exc.read(), exc.headers
+    ctype = headers.get("Content-Type", "")
+    if ctype.startswith("application/json"):
+        return status, json.loads(raw), headers
+    return status, raw.decode(), headers

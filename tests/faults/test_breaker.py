@@ -1,0 +1,87 @@
+"""Unit tests for the per-key circuit breaker (FakeClock-driven)."""
+
+import pytest
+
+from repro.faults import CircuitBreaker, FakeClock
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestStateMachine:
+    def test_closed_allows_everything(self, clock):
+        breaker = CircuitBreaker(threshold=3, reset_s=10.0, clock=clock)
+        assert breaker.state == "closed"
+        assert all(breaker.allow() for _ in range(10))
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(threshold=3, reset_s=10.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(threshold=3, reset_s=10.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # streak broken: never trips
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_after_reset(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_s=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the probe request
+        assert breaker.state == "half-open"
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_s=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_full_window(self, clock):
+        breaker = CircuitBreaker(threshold=5, reset_s=10.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(10.5)
+        assert breaker.allow()
+
+
+class TestRetryAfter:
+    def test_counts_down_the_reset_window(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_s=10.0, clock=clock)
+        assert breaker.retry_after_s() == 0.0
+        breaker.record_failure()
+        assert breaker.retry_after_s() == 10.0
+        clock.advance(4.0)
+        assert breaker.retry_after_s() == 6.0
+        clock.advance(100.0)
+        assert breaker.retry_after_s() == 0.0
+
+
+class TestValidation:
+    def test_threshold_and_reset_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="reset_s"):
+            CircuitBreaker(reset_s=-1.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the process-global fault injector."""
+
+import pytest
+
+from repro.core.errors import FaultInjected
+from repro.faults import (
+    ENV_VAR,
+    FakeClock,
+    FaultInjector,
+    FaultPlan,
+    active,
+    corrupt_text,
+    deactivate,
+    fault_flag,
+    fault_point,
+    faults_active,
+    install,
+    plan_from_env,
+)
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture(autouse=True)
+def _no_global_plan():
+    """Every test starts and ends with no plan installed."""
+    deactivate()
+    yield
+    deactivate()
+
+
+class TestDeterminism:
+    def test_same_plan_replays_same_schedule(self):
+        plan = FaultPlan.parse("worker-crash:p=0.3,seed=42")
+        draws = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            draws.append([inj.flag("worker-crash") for _ in range(50)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_seed_changes_schedule(self):
+        a = FaultInjector(FaultPlan.parse("worker-crash:p=0.3,seed=1"))
+        b = FaultInjector(FaultPlan.parse("worker-crash:p=0.3,seed=2"))
+        assert [a.flag("worker-crash") for _ in range(64)] \
+            != [b.flag("worker-crash") for _ in range(64)]
+
+    def test_points_draw_independently(self):
+        # same seed, different points: schedules must not be correlated
+        inj = FaultInjector(FaultPlan.parse(
+            "worker-crash:p=0.5,seed=9;cache-corrupt:p=0.5,seed=9"))
+        a = [inj.flag("worker-crash") for _ in range(64)]
+        b = [inj.flag("cache-corrupt") for _ in range(64)]
+        assert a != b
+
+
+class TestFiring:
+    def test_count_caps_fires(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash:count=2"))
+        fired = [inj.flag("worker-crash") for _ in range(10)]
+        assert fired == [True, True] + [False] * 8
+        assert inj.stats()["worker-crash"] == {"visits": 10, "fired": 2}
+
+    def test_p_one_always_fires(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash"))
+        assert all(inj.flag("worker-crash") for _ in range(5))
+
+    def test_p_zero_never_fires(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash:p=0"))
+        assert not any(inj.flag("worker-crash") for _ in range(50))
+
+    def test_unplanned_point_never_fires(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash"))
+        assert inj.flag("cache-corrupt") is False
+
+    def test_hit_raises_with_point_and_ordinal(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash:count=1"))
+        with pytest.raises(FaultInjected, match="worker-crash") as exc:
+            inj.hit("worker-crash")
+        assert exc.value.point == "worker-crash"
+        assert exc.value.hit == 1
+        inj.hit("worker-crash")  # count exhausted: no-op
+
+    def test_delay_spec_sleeps_instead_of_raising(self):
+        clock = FakeClock()
+        inj = FaultInjector(FaultPlan.parse("worker-hang:delay=0.25,count=2"),
+                            clock=clock)
+        for _ in range(4):
+            inj.hit("worker-hang")
+        assert clock.sleeps == [0.25, 0.25]
+
+    def test_on_fire_callback_sees_every_fire(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash:count=3"))
+        seen = []
+        inj.on_fire = seen.append
+        for _ in range(5):
+            inj.flag("worker-crash")
+        assert seen == ["worker-crash"] * 3
+
+    def test_injected_fault_pickles_cleanly(self):
+        import pickle
+
+        exc = FaultInjected("worker-crash", 4)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert (clone.point, clone.hit) == ("worker-crash", 4)
+        assert str(clone) == str(exc)
+
+
+class TestGlobalPlumbing:
+    def test_no_plan_is_a_no_op(self):
+        assert active() is None
+        fault_point("worker-crash")  # must not raise
+        assert fault_flag("lru-storm") is False
+
+    def test_install_and_deactivate(self):
+        install("worker-crash")
+        assert active() is not None
+        with pytest.raises(FaultInjected):
+            fault_point("worker-crash")
+        deactivate()
+        fault_point("worker-crash")
+
+    def test_faults_active_scopes_and_restores(self):
+        outer = install("cache-corrupt")
+        with faults_active("worker-crash") as inner:
+            assert active() is inner
+            assert fault_flag("cache-corrupt") is False
+        assert active() is outer
+
+    def test_faults_active_none_is_passthrough(self):
+        outer = install("cache-corrupt")
+        with faults_active(None) as inj:
+            assert inj is outer
+        assert active() is outer
+
+    def test_faults_active_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults_active("worker-crash"):
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_plan_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert plan_from_env() is None
+        monkeypatch.setenv(ENV_VAR, "worker-crash:p=0.5")
+        plan = plan_from_env()
+        assert plan is not None and plan.get("worker-crash").probability \
+            == 0.5
+        monkeypatch.setenv(ENV_VAR, "   ")
+        assert plan_from_env() is None
+
+
+class TestCorruptText:
+    def test_deterministic_and_damaging(self):
+        payload = '{"format":2,"result":{"xs":[1,2,3],"ys":[4,5,6]}}'
+        a = corrupt_text(payload)
+        assert a == corrupt_text(payload)
+        assert a != payload
+
+    def test_short_payloads_become_marker(self):
+        assert corrupt_text("tiny") == "#corrupt#"

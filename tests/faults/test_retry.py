@@ -1,0 +1,121 @@
+"""Unit tests for the bounded-backoff retry primitive and the clocks."""
+
+import pytest
+
+from repro.faults import (
+    FakeClock,
+    MonotonicClock,
+    RetryExhausted,
+    RetryPolicy,
+    retry_call,
+)
+
+pytestmark = pytest.mark.fast
+
+
+class TestPolicy:
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, seed=3)
+        assert policy.delays() == policy.delays()
+        assert RetryPolicy(max_attempts=4, seed=4).delays() \
+            != policy.delays()
+
+    def test_schedule_length_and_exponential_base(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                             max_delay_s=10.0, jitter=0.0)
+        assert policy.delays() == [0.1, 0.2, 0.4]
+
+    def test_delays_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=1.0,
+                             max_delay_s=1.5, jitter=0.0)
+        assert policy.delays() == [1.0, 1.5, 1.5, 1.5]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(max_attempts=8, base_delay_s=0.1,
+                             max_delay_s=0.1, jitter=0.5, seed=11)
+        for d in policy.delays():
+            assert 0.1 <= d <= 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay_s=-1)
+
+
+class TestRetryCall:
+    def test_success_needs_no_sleep(self):
+        clock = FakeClock()
+        out = retry_call(lambda i: "ok", policy=RetryPolicy(), clock=clock)
+        assert out == "ok" and clock.sleeps == []
+
+    def test_recovers_after_transient_failures(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, seed=5)
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise OSError("transient")
+            return attempt
+
+        assert retry_call(flaky, policy=policy, clock=clock) == 2
+        # the sleeps are exactly the policy's schedule — replayable
+        assert clock.sleeps == policy.delays()
+
+    def test_attempts_are_bounded_and_cause_chained(self):
+        clock = FakeClock()
+        calls = []
+
+        def always(attempt):
+            calls.append(attempt)
+            raise OSError("down")
+
+        with pytest.raises(RetryExhausted) as exc:
+            retry_call(always, policy=RetryPolicy(max_attempts=3),
+                       clock=clock)
+        assert calls == [0, 1, 2]
+        assert exc.value.attempts == 3
+        assert isinstance(exc.value.__cause__, OSError)
+        assert len(clock.sleeps) == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        clock = FakeClock()
+
+        def typed(attempt):
+            raise KeyError("deterministic")
+
+        with pytest.raises(KeyError):
+            retry_call(typed, policy=RetryPolicy(max_attempts=5),
+                       clock=clock, retry_on=(OSError,))
+        assert clock.sleeps == []  # no attempt was burned on it
+
+    def test_on_retry_fires_before_each_sleep(self):
+        seen = []
+
+        def failing(attempt):
+            raise OSError(attempt)
+
+        with pytest.raises(RetryExhausted):
+            retry_call(failing, policy=RetryPolicy(max_attempts=3),
+                       clock=FakeClock(),
+                       on_retry=lambda i, exc: seen.append(i))
+        assert seen == [0, 1]
+
+
+class TestClocks:
+    def test_fake_clock_records_and_advances(self):
+        clock = FakeClock(start=10.0)
+        clock.sleep(1.5)
+        clock.sleep(0.5)
+        assert clock.sleeps == [1.5, 0.5]
+        assert clock.total_slept == 2.0
+        assert clock.time() == 12.0
+        clock.advance(3.0)
+        assert clock.time() == 15.0
+        assert clock.sleeps == [1.5, 0.5]  # advance() is not a sleep
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        t0 = clock.time()
+        clock.sleep(0)  # zero sleep must not block
+        assert clock.time() >= t0

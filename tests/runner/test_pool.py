@@ -123,6 +123,38 @@ class TestWarmPool:
             shutdown_pool()
 
 
+def _boom(exp_id, scale, seed):
+    """Stand-in worker raising a deterministic (non-retryable) error."""
+    raise RuntimeError(f"injected pool failure for {exp_id}")
+
+
+class TestPoolErrorCleanup:
+    def test_worker_error_propagates_and_pool_is_reaped(self, monkeypatch):
+        """Regression: an exception escaping the parallel collection loop
+        used to leak the warm pool (workers alive, futures pending).  The
+        error must still propagate, but the pool must be shut down."""
+        from repro.runner import pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "_worker", _boom)
+        with pytest.raises(RuntimeError, match="injected pool failure"):
+            run_experiments(BATCH, scale=0.3, jobs=2, cache=None)
+        assert pool_mod._pool is None  # reaped, not leaked
+
+    def test_pool_usable_again_after_cleanup(self, monkeypatch):
+        from repro.runner import pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "_worker", _boom)
+        with pytest.raises(RuntimeError):
+            run_experiments(BATCH, scale=0.3, jobs=2, cache=None)
+        monkeypatch.undo()
+        try:
+            outs = run_experiments(["fig1", "fig14"], scale=0.3, jobs=2,
+                                   cache=None)
+            assert [o.id for o in outs] == ["fig1", "fig14"]
+        finally:
+            shutdown_pool()
+
+
 class TestCacheSpeedup:
     def test_warm_batch_at_least_5x_faster(self, tmp_path):
         """Acceptance: a second invocation is served >=5x faster, and the

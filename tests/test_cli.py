@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+pytestmark = pytest.mark.fast
+
 
 class TestParser:
     def test_requires_command(self):
