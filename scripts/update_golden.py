@@ -19,6 +19,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.ablation import AblateRequest, ablate  # noqa: E402
 from repro.experiments import get  # noqa: E402
 
 #: (experiment id, scale, seed) — a fast subset covering both machines,
@@ -30,6 +31,9 @@ GOLDEN = [
     ("table1", 0.3, 0),
 ]
 
+#: (scale, seed) of the pinned full-matrix ablation ranking.
+ABLATION_GOLDEN = (0.3, 0)
+
 
 def main() -> int:
     out_dir = Path(__file__).resolve().parents[1] / "tests" / "golden"
@@ -40,6 +44,14 @@ def main() -> int:
         path = out_dir / f"{exp_id}.json"
         path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         print(f"wrote {path} ({'PASS' if result.passed else 'FAIL'})")
+
+    scale, seed = ABLATION_GOLDEN
+    report = ablate(AblateRequest(scale=scale, seed=seed, use_cache=False))
+    doc = {"scale": scale, "seed": seed, "report": report}
+    path = out_dir / "ablate.json"
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    ranked = ", ".join(e["component"] for e in report["ranking"])
+    print(f"wrote {path} (ranking: {ranked})")
     return 0
 
 

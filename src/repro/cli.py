@@ -14,6 +14,9 @@ Subcommands:
   parameters;
 * ``scoreboard`` — price a workload matrix under six cost models and
   tabulate the signed errors;
+* ``ablate`` — switch simulated machine phenomena off one by one,
+  re-run the scoreboard per configuration and rank each component by
+  how much modelling it buys in prediction accuracy (docs/ABLATION.md);
 * ``attribute`` — run one workload and attribute a model's error per
   superstep family (the paper's §5 diagnostics, mechanised);
 * ``machines`` — the simulated platforms and their headline behaviours;
@@ -246,6 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--scale", type=float, default=1.0)
     sb.add_argument("--seed", type=int, default=0)
 
+    ab = sub.add_parser(
+        "ablate",
+        help="switch model components off one by one and rank how much "
+             "each buys in prediction accuracy")
+    ab.add_argument("--components", nargs="+", default=None, metavar="NAME",
+                    help="components to ablate (default: all; see "
+                         "`repro machines --json` for the per-machine "
+                         "phenomena)")
+    ab.add_argument("--cells", nargs="+", default=None, metavar="CELL",
+                    help="scoreboard cells to re-run (default: all)")
+    ab.add_argument("--scale", type=float, default=0.3,
+                    help="problem-size scale in (0, 1] (default 0.3)")
+    ab.add_argument("--seed", type=int, default=0)
+    ab.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                    help="worker processes for uncached cell runs "
+                         "(default 1)")
+    ab.add_argument("--json", metavar="FILE", default=None, dest="json_path",
+                    help="write the report as JSON ('-' = stdout)")
+    ab.add_argument("--no-cache", action="store_true",
+                    help="neither read nor write the result cache")
+    ab.add_argument("--force", action="store_true",
+                    help="recompute even on a cache hit (refreshes the "
+                         "stored entries)")
+    ab.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache root (default: $REPRO_CACHE_DIR or "
+                         "~/.cache/repro)")
+    ab.add_argument("--faults", default=None, metavar="PLAN",
+                    help="fault plan for the run (also honours "
+                         "$REPRO_FAULTS)")
+
     at = sub.add_parser(
         "attribute",
         help="run a workload and attribute a model's error per superstep")
@@ -446,6 +479,40 @@ def _cmd_table1(seed: int, trials: int) -> int:
     return 0
 
 
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """Run the component-ablation matrix and print the ranking."""
+    from .ablation import AblateRequest, ablate, render_report
+    from .core.errors import AblationError, FaultError
+    from .faults import FaultPlan, plan_from_env
+
+    try:
+        plan = (FaultPlan.parse(args.faults) if args.faults
+                else plan_from_env())
+        req = AblateRequest(
+            components=tuple(args.components) if args.components else None,
+            cells=tuple(args.cells) if args.cells else None,
+            scale=args.scale, seed=args.seed, jobs=args.jobs,
+            cache_dir=args.cache_dir, use_cache=not args.no_cache,
+            force=args.force)
+        report = ablate(req, faults=plan)
+    except (AblationError, FaultError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_path:
+        import json
+
+        text = json.dumps(report, indent=1, sort_keys=True)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json_path}")
+    if args.json_path != "-":
+        print(render_report(report))
+    return 0
+
+
 def _cmd_attribute(machine_name: str, workload: str, model_name: str,
                    size: int | None, seed: int) -> int:
     """Run a workload and print the per-superstep error attribution."""
@@ -589,6 +656,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(render_scoreboard(build_scoreboard(scale=args.scale,
                                                  seed=args.seed)))
         return 0
+    if args.command == "ablate":
+        return _cmd_ablate(args)
     if args.command == "attribute":
         return _cmd_attribute(args.machine, args.workload, args.model,
                               args.size, args.seed)

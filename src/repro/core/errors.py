@@ -16,6 +16,7 @@ __all__ = [
     "MailboxError",
     "CalibrationError",
     "ExperimentError",
+    "AblationError",
     "FaultError",
     "FaultInjected",
 ]
@@ -55,6 +56,10 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured with unusable parameters."""
+
+
+class AblationError(ReproError):
+    """An ablation request named unknown components or cells."""
 
 
 class FaultError(ReproError):

@@ -45,6 +45,7 @@ def machine_catalog() -> list[dict]:
         "class": cls.__name__,
         "default_P": DEFAULT_P[name],
         "simd": bool(cls.simd),
+        "phenomena": list(cls.PHENOMENA),
         "summary": BLURBS[name],
     } for name, cls in MACHINES.items()]
 

@@ -87,11 +87,27 @@ class Machine(ABC):
     #: relative noise of one local-computation timing; 0 = deterministic
     #: compute (lockstep SIMD).  MIMD machines set this in ``__init__``.
     compute_noise: float = 0.0
+    #: named phenomena this machine simulates beyond the flat cost
+    #: models — each can be switched off at construction (``disable=``)
+    #: by the ablation harness (:mod:`repro.ablation`).
+    PHENOMENA: "tuple[str, ...]" = ()
 
-    def __init__(self, nominal: ModelParams, *, seed: int = 0):
+    def __init__(self, nominal: ModelParams, *, seed: int = 0,
+                 disable: "tuple[str, ...] | frozenset[str]" = ()):
         self.nominal = nominal
         self.P = nominal.P
         self.rng = np.random.default_rng(seed)
+        self.disabled = frozenset(disable)
+        unknown = self.disabled - set(self.PHENOMENA)
+        if unknown:
+            known = ", ".join(self.PHENOMENA) or "(none)"
+            raise SimulationError(
+                f"{self.name} has no phenomena {sorted(unknown)}; "
+                f"known: {known}")
+
+    def models_phenomenon(self, name: str) -> bool:
+        """True while ``name`` (a :data:`PHENOMENA` entry) is switched on."""
+        return name not in self.disabled
 
     # ------------------------------------------------------------------
     # Local computation

@@ -37,13 +37,19 @@ class CM5(Machine):
 
     name = "cm5"
     simd = False
+    #: ablatable phenomena (see :mod:`repro.ablation.components`):
+    #: endpoint contention of unstaggered schedules (§5.1), the machine's
+    #: sensitivity to schedule staggering, and the cache-dependent local
+    #: matmul rate (§4.1.1).
+    PHENOMENA = ("endpoint-contention", "comm-staggering", "cache-effects")
 
     def __init__(self, *, P: int = 64, seed: int = 0,
-                 params: ModelParams | None = None):
+                 params: ModelParams | None = None,
+                 disable: tuple[str, ...] = ()):
         nominal = params or paper_params("cm5").with_updates(P=P)
         if nominal.P != P:
             nominal = nominal.with_updates(P=P)
-        super().__init__(nominal, seed=seed)
+        super().__init__(nominal, seed=seed, disable=disable)
         #: per fine-grain message software overheads (active messages).
         #: Injection dominates (network-interface gap); the receive
         #: handler is cheap and largely overlapped — this is why a
@@ -62,7 +68,15 @@ class CM5(Machine):
         #: per-byte streaming cost makes the fine/block transition smooth.
         self.block_threshold = 256
         #: endpoint-contention penalty coefficient for unstaggered phases.
-        self.hotspot_coef = 0.45
+        #: A zero coefficient makes the penalty factor exactly 1.0, so
+        #: ablating the phenomenon is an FP-exact no-op on every phase.
+        self.hotspot_coef = (
+            0.45 if self.models_phenomenon("endpoint-contention") else 0.0)
+        #: when ablated the machine stops rewarding staggered schedules:
+        #: the hot-spot penalty applies regardless of ``phase.stagger``.
+        self.stagger_sensitive = self.models_phenomenon("comm-staggering")
+        #: when ablated the local matmul runs at the nominal flat rate.
+        self.cache_sensitive = self.models_phenomenon("cache-effects")
         #: barrier on the control network.
         self.barrier_us = 38.0
         self.noise = 0.005
@@ -95,14 +109,14 @@ class CM5(Machine):
         return 5.2
 
     def compute_time_base(self, work: Work, rank: int) -> float:
-        if isinstance(work, MatmulBlock):
+        if isinstance(work, MatmulBlock) and self.cache_sensitive:
             # time per compound op = 2 flops / rate
             alpha_eff = 2.0 / self.matmul_mflops(work)
             return alpha_eff * work.flops
         return nominal_time(work, self.nominal)
 
     def compute_time_batch(self, kind: type, params: dict, ranks) -> np.ndarray | None:
-        if kind is MatmulBlock:
+        if kind is MatmulBlock and self.cache_sensitive:
             m = np.asarray(params["m"], dtype=np.int64)
             k = np.asarray(params["k"], dtype=np.int64)
             n = np.asarray(params["n"], dtype=np.int64)
@@ -147,7 +161,7 @@ class CM5(Machine):
         load = phase.active_procs / self.P
         t += self.net_msg * load * float(
             np.bincount(phase.dst, weights=phase.count, minlength=phase.P).max(initial=0))
-        if not phase.stagger:
+        if not phase.stagger or not self.stagger_sensitive:
             # Unstaggered schedules create transient many-to-one hot spots:
             # senders stall on the destination's service rate (§5.1).
             f = phase.max_fan_in
@@ -221,7 +235,7 @@ class _CM5CommPricer(CommPricer):
         t = t + m.net_msg * (active / m.P) * recvs.max(axis=1)
 
         for i, ph in enumerate(uniq):
-            if ph.n_groups and not ph.stagger:
+            if ph.n_groups and (not ph.stagger or not m.stagger_sensitive):
                 f = ph.max_fan_in
                 if f > 1:
                     t[i] *= 1.0 + m.hotspot_coef * (1.0 - 1.0 / f)

@@ -38,13 +38,22 @@ class GCel(Machine):
 
     name = "gcel"
     simd = False
+    #: ablatable phenomena (see :mod:`repro.ablation.components`): the
+    #: PVM buffering collapse of long unsynchronised message sequences
+    #: (§5.1, Fig. 7).
+    PHENOMENA = ("sync-loss",)
 
     def __init__(self, *, P: int = 64, seed: int = 0,
-                 params: ModelParams | None = None):
+                 params: ModelParams | None = None,
+                 disable: tuple[str, ...] = ()):
         nominal = params or paper_params("gcel").with_updates(P=P)
         if nominal.P != P:
             nominal = nominal.with_updates(P=P)
-        super().__init__(nominal, seed=seed)
+        super().__init__(nominal, seed=seed, disable=disable)
+        #: drift collapse switch — ``_drift_extra`` is shared by the
+        #: scalar path and the batched pricer, so gating it there keeps
+        #: the two bit-identical (no RNG draws when ablated).
+        self.sync_loss = self.models_phenomenon("sync-loss")
         side = int(round(P ** 0.5))
         self.side = side if side * side == P else 0  # 0 = not a square mesh
         #: per-message software overheads of fine-grain HPVM traffic.
@@ -106,6 +115,8 @@ class GCel(Machine):
 
     def _drift_extra(self, steps: int, participants: np.ndarray) -> np.ndarray:
         """Super-linear, noisy penalty once PVM buffering saturates."""
+        if not self.sync_loss:
+            return np.zeros(participants.size)
         window = self.drift_window * self.jitter(0.1)
         excess = steps - window
         if excess <= 0:

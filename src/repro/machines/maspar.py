@@ -50,19 +50,37 @@ class MasParMP1(Machine):
 
     name = "maspar"
     simd = True
+    #: ablatable phenomena (see :mod:`repro.ablation.components`): the
+    #: conflict-free routing of cube permutations (§5.1), the
+    #: partial-permutation law of Fig. 2, the serialisation tail at hot
+    #: destinations (§5.1), and the per-cluster router channels (Fig. 1).
+    PHENOMENA = ("cube-discount", "partial-permutation",
+                 "receiver-serialisation", "cluster-channels")
 
     #: PEs per router cluster (one router channel each).
     CLUSTER = 16
 
     def __init__(self, *, P: int = 1024, seed: int = 0,
-                 params: ModelParams | None = None):
+                 params: ModelParams | None = None,
+                 disable: tuple[str, ...] = ()):
         if P < self.CLUSTER or P & (P - 1):
             raise SimulationError(
                 f"MasPar partitions must be powers of two >= 16, got {P}")
         nominal = params or paper_params("maspar").with_updates(P=P)
         if nominal.P != P:
             nominal = nominal.with_updates(P=P)
-        super().__init__(nominal, seed=seed)
+        super().__init__(nominal, seed=seed, disable=disable)
+        #: cube permutations priced like random ones when ablated.  The
+        #: discount is a *skip* flag, not a factor of 1.0: re-deriving
+        #: ``base`` from ``factor*(base-c)+c`` would not be FP-exact.
+        self.cube_aware = self.models_phenomenon("cube-discount")
+        #: with the partial-permutation law ablated, every word-router
+        #: step is priced as a full permutation (``active = P``).
+        self.partial_law = self.models_phenomenon("partial-permutation")
+        #: hot destinations serialise incoming messages (word and block).
+        self.recv_serialises = self.models_phenomenon("receiver-serialisation")
+        #: destinations sharing a 16-PE cluster contend for its channel.
+        self.cluster_aware = self.models_phenomenon("cluster-channels")
         # Partial-permutation law (Fig. 2 of the paper).
         self.unb = UnbalancedCost(a=0.84, b=11.8, c=73.3)
         #: serialisation cost per extra message at the hottest destination.
@@ -116,11 +134,11 @@ class MasParMP1(Machine):
             # Circuit-switched block transfer: bandwidth-bound, activity
             # independent (see module docstring).
             t = self.sigma_block * m_max + self.ell_block
-            if self._is_cube(src, dst):
+            if self.cube_aware and self._is_cube(src, dst):
                 t *= self.block_cube_factor
             recvs = np.bincount(dst, minlength=self.P)
             h_r = int(recvs.max(initial=0))
-            if h_r > 1:
+            if h_r > 1 and self.recv_serialises:
                 # Block messages converging on one PE serialise entirely.
                 t += (h_r - 1) * (self.sigma_block * m_max + 0.25 * self.ell_block)
             # circuit-switched streaming on a lockstep machine is nearly
@@ -128,21 +146,22 @@ class MasParMP1(Machine):
             return t * self.jitter(self.noise / 4)
         # The partial-permutation law is parameterised by the number of
         # simultaneously routed messages (= active sender PEs, Fig. 2).
-        active = int(src.size)
+        active = int(src.size) if self.partial_law else self.P
         base = self.unb(active)
-        if self._is_cube(src, dst):
+        if self.cube_aware and self._is_cube(src, dst):
             t = self.cube_factor * (base - self.unb.c) + self.unb.c
         else:
             t = base
         recvs = np.bincount(dst, minlength=self.P)
         h_r = int(recvs.max(initial=0))
-        if h_r > 1:
+        if h_r > 1 and self.recv_serialises:
             t += self.serial_recv * (h_r - 1)
         if m_max > self.nominal.w:
             # multi-word short message: extra words stream through the
             # open circuit at the block rate (§8's 16-byte messages)
             t += self.sigma_block * (m_max - self.nominal.w)
-        t += self._cluster_penalty(dst, ones)
+        if self.cluster_aware:
+            t += self._cluster_penalty(dst, ones)
         return t * self.jitter(self.noise)
 
     def _sequence_cost(self, sub: CommPhase) -> float:
@@ -269,6 +288,8 @@ class _MasParCommPricer(CommPricer):
         xfirst = np.minimum.reduceat(x, starts)
         cube = ((xfirst == np.maximum.reduceat(x, starts))
                 & (xfirst > 0) & ((xfirst & (xfirst - 1)) == 0))
+        if not m.cube_aware:
+            cube = np.zeros_like(cube)
 
         # "Every source distinct" test: duplicates show up as equal
         # neighbours once group keys are sorted by (sub-step, src).
@@ -300,19 +321,23 @@ class _MasParCommPricer(CommPricer):
         # Deterministic router times, replicating _step_cost op for op —
         # branchless variants only add exact zeros where the scalar path
         # skips the addition.
-        active = seg_sizes.astype(np.float64)
+        active = (seg_sizes.astype(np.float64) if m.partial_law
+                  else np.full(nseg, float(P)))
         w = m.nominal.w
         base = m.unb.a * active + m.unb.b * np.sqrt(active) + m.unb.c
         t_word = np.where(cube, m.cube_factor * (base - m.unb.c) + m.unb.c, base)
-        t_word = t_word + m.serial_recv * (h_r - 1)
+        if m.recv_serialises:
+            t_word = t_word + m.serial_recv * (h_r - 1)
         t_word = t_word + np.where(m_max > w, m.sigma_block * (m_max - w), 0.0)
-        fair = -(-seg_sizes // n_clusters)
-        excess = loads.astype(np.float64) - fair.astype(np.float64)
-        t_word = t_word + m.cluster_coef * np.maximum(0.0, excess)
+        if m.cluster_aware:
+            fair = -(-seg_sizes // n_clusters)
+            excess = loads.astype(np.float64) - fair.astype(np.float64)
+            t_word = t_word + m.cluster_coef * np.maximum(0.0, excess)
 
         t_blk = m.sigma_block * m_max + m.ell_block
         t_blk = np.where(cube, t_blk * m.block_cube_factor, t_blk)
-        t_blk = t_blk + (h_r - 1) * (m.sigma_block * m_max + 0.25 * m.ell_block)
+        if m.recv_serialises:
+            t_blk = t_blk + (h_r - 1) * (m.sigma_block * m_max + 0.25 * m.ell_block)
 
         block = m_max > m.block_threshold
         det = np.where(block, t_blk, t_word)

@@ -41,7 +41,8 @@ class T800Grid(Machine):
     simd = False
 
     def __init__(self, *, P: int = 64, seed: int = 0,
-                 params: ModelParams | None = None):
+                 params: ModelParams | None = None,
+                 disable: tuple[str, ...] = ()):
         side = int(round(P ** 0.5))
         if side * side != P:
             raise SimulationError(f"T800 grid needs a square P, got {P}")
@@ -55,7 +56,7 @@ class T800Grid(Machine):
             sort_beta=1.4, sort_gamma=1.1, merge_alpha=1.0)
         if nominal.P != P:
             nominal = nominal.with_updates(P=P)
-        super().__init__(nominal, seed=seed)
+        super().__init__(nominal, seed=seed, disable=disable)
         self.side = side
         #: per-message software overhead (Parix channel setup, send+recv).
         self.o_send = 14.0

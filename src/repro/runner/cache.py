@@ -107,19 +107,20 @@ class ResultCache:
         except OSError:
             pass
 
-    def get(self, key: str, exp_id: str = "?") -> ExperimentResult | None:
-        """The cached result under ``key``, or None.
+    def get_doc(self, key: str, label: str = "?") -> dict | None:
+        """The raw JSON payload cached under ``key``, or None.
 
-        Corrupt entries — unparseable JSON, wrong format, or a checksum
-        mismatch — are quarantined and reported as a miss, so callers
-        transparently recompute.
+        The generic sibling of :meth:`get` — same verification and
+        quarantine behaviour, but the payload is handed back as parsed
+        JSON instead of an :class:`ExperimentResult` (the ablation
+        harness caches per-cell scoreboard documents this way).
         """
         path = self._path(key)
         try:
             with open(path) as fh:
                 raw = fh.read()
         except OSError:
-            self.stats.record(exp_id, hit=False)
+            self.stats.record(label, hit=False)
             return None
         try:
             doc = json.loads(raw)
@@ -127,20 +128,46 @@ class ResultCache:
                 raise ValueError("unknown cache format")
             if doc.get("checksum") != _result_checksum(doc["result"]):
                 raise ValueError("checksum mismatch")
-            result = ExperimentResult.from_dict(doc["result"])
         except (ValueError, KeyError, TypeError):
             self._quarantine(path)
+            self.stats.record(label, hit=False)
+            return None
+        self.stats.record(label, hit=True)
+        return doc["result"]
+
+    def get(self, key: str, exp_id: str = "?") -> ExperimentResult | None:
+        """The cached result under ``key``, or None.
+
+        Corrupt entries — unparseable JSON, wrong format, or a checksum
+        mismatch — are quarantined and reported as a miss, so callers
+        transparently recompute.
+        """
+        result_doc = self.get_doc(key, exp_id)
+        if result_doc is None:
+            return None
+        try:
+            return ExperimentResult.from_dict(result_doc)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(self._path(key))
+            self.stats.hits -= 1
             self.stats.record(exp_id, hit=False)
             return None
-        self.stats.record(exp_id, hit=True)
-        return result
 
     def put(self, key: str, result: ExperimentResult, *,
             meta: dict | None = None) -> Path:
         """Store ``result`` under ``key`` atomically; returns the path."""
+        return self.put_doc(key, result.to_dict(), meta=meta)
+
+    def put_doc(self, key: str, result_doc: dict, *,
+                meta: dict | None = None) -> Path:
+        """Store a raw JSON payload under ``key`` atomically.
+
+        Everything :meth:`put` layers on top of the payload — checksum,
+        fault points, atomic rename — lives here, so generic documents
+        get the same corruption handling as experiment results.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        result_doc = result.to_dict()
         checksum = _result_checksum(result_doc)
         if fault_flag("cache-stale"):
             checksum = "0" * 64

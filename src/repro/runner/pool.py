@@ -61,8 +61,8 @@ from ..validation.series import ExperimentResult
 from .cache import ResultCache
 from .fingerprint import experiment_key, source_fingerprint
 
-__all__ = ["RunOutcome", "resolve_ids", "run_experiments", "warm_pool",
-           "shutdown_pool"]
+__all__ = ["RunOutcome", "collect_resilient", "resolve_ids",
+           "run_experiments", "warm_pool", "shutdown_pool"]
 
 #: machine configurations the worker initializer pre-fits: the three
 #: paper machines at their default partitions (what ``calibrated`` asks
@@ -205,24 +205,24 @@ def _worker(exp_id: str, scale: float, seed: int) -> tuple[dict, float]:
     return result, time.perf_counter() - t0
 
 
-def _collect_resilient(exp_id: str, first_fut, *, registry, scale: float,
-                       seed: int, jobs: int, policy: RetryPolicy,
-                       clock: Clock,
-                       timeout_s: float | None) -> tuple[dict, float]:
+def collect_resilient(fn, args: tuple, first_fut, *, fallback, jobs: int,
+                      seed: int, policy: RetryPolicy, clock: Clock,
+                      timeout_s: float | None):
     """Await one pool task, retrying transient failures under ``policy``.
 
     Attempt 0 consumes the already-submitted future; later attempts
-    resubmit (rebuilding the pool first when it broke).  A timed-out
-    task is cancelled and retried elsewhere.  Once the bounded attempts
-    are spent, the experiment runs in-process — same arguments, same
-    pure function, bit-identical result.
+    resubmit ``fn(*args)`` (rebuilding the pool first when it broke).  A
+    timed-out task is cancelled and retried elsewhere.  Once the bounded
+    attempts are spent, ``fallback()`` runs the task in-process — same
+    arguments, same pure function, bit-identical result.  Shared by
+    :func:`run_experiments` and the ablation evaluator
+    (:mod:`repro.ablation.evaluate`).
     """
     state = {"fut": first_fut}
 
     def attempt(i: int):
         if i > 0:
-            state["fut"] = warm_pool(jobs, seed=seed).submit(
-                _worker, exp_id, scale, seed)
+            state["fut"] = warm_pool(jobs, seed=seed).submit(fn, *args)
         fut = state["fut"]
         try:
             return fut.result(timeout=timeout_s)
@@ -237,9 +237,24 @@ def _collect_resilient(exp_id: str, first_fut, *, registry, scale: float,
         return retry_call(attempt, policy=policy, clock=clock,
                           retry_on=_RETRYABLE)
     except RetryExhausted:
+        return fallback()
+
+
+def _collect_resilient(exp_id: str, first_fut, *, registry, scale: float,
+                       seed: int, jobs: int, policy: RetryPolicy,
+                       clock: Clock,
+                       timeout_s: float | None) -> tuple[dict, float]:
+    """One experiment's :func:`collect_resilient`, in-process fallback
+    included."""
+
+    def fallback() -> tuple[dict, float]:
         t0 = time.perf_counter()
         result = registry[exp_id].run(scale=scale, seed=seed)
         return result.to_dict(), time.perf_counter() - t0
+
+    return collect_resilient(_worker, (exp_id, scale, seed), first_fut,
+                             fallback=fallback, jobs=jobs, seed=seed,
+                             policy=policy, clock=clock, timeout_s=timeout_s)
 
 
 def run_experiments(ids: list[str], *, scale: float = 1.0, seed: int = 0,

@@ -48,8 +48,8 @@ from ..simulator.result import RunResult
 from ..validation.scoreboard import Cell
 
 __all__ = ["PredictRequest", "ALGORITHMS", "MODELS", "default_size",
-           "predict_offline", "compare_offline", "evaluate_batch",
-           "OracleError"]
+           "predict_offline", "compare_offline", "ablate_offline",
+           "evaluate_batch", "OracleError"]
 
 
 class OracleError(ReproError):
@@ -281,6 +281,22 @@ def compare_offline(doc_or_req) -> dict:
     }
 
 
+def ablate_offline(doc_or_req) -> dict:
+    """One ablation request through the plain offline pipeline.
+
+    The reference for ``POST /ablate``: a served report must be
+    byte-identical to this (the ablation evaluator is deterministic and
+    its execution knobs — jobs, cache state — never change the bytes).
+    Runs with ``jobs=1``: inside a batch worker the matrix is evaluated
+    inline rather than fanning out a process pool per HTTP request.
+    """
+    from ..ablation import AblateRequest, ablate
+
+    req = (doc_or_req if isinstance(doc_or_req, AblateRequest)
+           else AblateRequest.from_json(doc_or_req))
+    return ablate(req)
+
+
 # ----------------------------------------------------------------------
 # Batched (serving) path
 # ----------------------------------------------------------------------
@@ -289,9 +305,9 @@ def evaluate_batch(items: list[tuple[str, tuple, PredictRequest]]
                    ) -> dict[tuple, object]:
     """Evaluate one micro-batch of ``(kind, key, request)`` jobs.
 
-    ``kind`` is ``"predict"`` or ``"compare"``.  Returns ``key ->
-    response dict`` (or ``key -> Exception`` for per-job failures —
-    one bad request never poisons its batch-mates).
+    ``kind`` is ``"predict"``, ``"compare"`` or ``"ablate"``.  Returns
+    ``key -> response dict`` (or ``key -> Exception`` for per-job
+    failures — one bad request never poisons its batch-mates).
 
     Coalescing, in order:
 
@@ -324,6 +340,11 @@ def evaluate_batch(items: list[tuple[str, tuple, PredictRequest]]
         try:
             if kind == "compare":
                 out[key] = compare_offline(req)
+                continue
+            if kind == "ablate":
+                # heavyweight and self-caching (the result cache makes
+                # repeats incremental); runs inline like compare
+                out[key] = ablate_offline(req)
                 continue
             res, cal = sim(req)
             gkey = (req.machine, req.model, req.seed)

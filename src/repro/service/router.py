@@ -11,11 +11,15 @@ through an executor.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import math
 
 from .. import __version__
-from ..core.errors import ExperimentError, FaultInjected, ReproError
+from ..ablation import AblateRequest, COMPONENTS
+from ..core.errors import AblationError, ExperimentError, FaultInjected, \
+    ReproError
 from ..machines import machine_catalog
+from ..validation.scoreboard import CELL_SPECS
 from .httpd import HttpError, Request, Response
 from .oracle import ALGORITHMS, MODELS, OracleError, PredictRequest
 
@@ -97,6 +101,10 @@ async def capabilities(app, request: Request) -> Response:
         "models": list(MODELS),
         "algorithms": {name: {"default_size": size}
                        for name, (size, _) in ALGORITHMS.items()},
+        "ablation": {
+            "components": [c.to_dict() for c in COMPONENTS.values()],
+            "cells": list(CELL_SPECS),
+        },
     })
 
 
@@ -205,6 +213,23 @@ async def compare(app, request: Request) -> Response:
     return await _submit_guarded(app, "compare", key, req)
 
 
+async def ablate(app, request: Request) -> Response:
+    """Run a component ablation through the batching dispatcher.
+
+    The LRU/batcher key excludes execution knobs (the cache directory
+    below), so identical logical requests dedupe and repeat requests
+    are LRU hits; the per-cell result cache additionally makes cold
+    evaluations of overlapping matrices incremental.
+    """
+    try:
+        req = AblateRequest.from_json(request.json())
+    except AblationError as exc:
+        raise HttpError(422, str(exc)) from exc
+    req = dataclasses.replace(req, cache_dir=app.config.cache_dir)
+    key = ("ablate",) + req.key
+    return await _submit_guarded(app, "ablate", key, req)
+
+
 async def metrics(app, request: Request) -> Response:
     return Response.text(app.metrics.render())
 
@@ -218,6 +243,7 @@ def default_router() -> Router:
     router.add("GET", "/capabilities", capabilities)
     router.add("POST", "/predict", predict)
     router.add("POST", "/compare", compare)
+    router.add("POST", "/ablate", ablate)
     router.add("GET", "/metrics", metrics)
     return router
 

@@ -11,6 +11,7 @@ shows which model breaks on which machine and why.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -25,7 +26,8 @@ from ..core.mp_bsp import MPBSP
 from ..core.pram import PRAM
 from ..machines import make_machine
 
-__all__ = ["Cell", "Scoreboard", "build_scoreboard", "render_scoreboard"]
+__all__ = ["Cell", "CellSpec", "CELL_SPECS", "Scoreboard",
+           "build_scoreboard", "render_scoreboard", "run_cell"]
 
 
 @dataclass
@@ -98,36 +100,71 @@ def _models_for(cal: Calibration) -> list[CostModel]:
     return out
 
 
+@dataclass(frozen=True)
+class CellSpec:
+    """One (workload, machine) cell of the scoreboard matrix.
+
+    ``runner(machine, scale, seed)`` executes the workload on an
+    already-constructed machine; keeping machine construction out of the
+    spec lets :func:`run_cell` build the machine with phenomena switched
+    off (the ablation harness, :mod:`repro.ablation`).
+    """
+
+    name: str
+    machine: str
+    runner: Callable  # (machine, scale, seed) -> RunResult
+
+
+#: the scoreboard's workload matrix, in render order.
+CELL_SPECS: dict[str, CellSpec] = {spec.name: spec for spec in [
+    CellSpec("matmul", "cm5",
+             lambda m, scale, seed: matmul.run(
+                 m, max(64, int(256 * scale) // 16 * 16),
+                 variant="bsp-staggered", seed=seed)),
+    CellSpec("matmul-blk", "cm5",
+             lambda m, scale, seed: matmul.run(
+                 m, max(64, int(256 * scale) // 16 * 16),
+                 variant="bpram", seed=seed)),
+    CellSpec("bitonic", "maspar",
+             lambda m, scale, seed: bitonic.run(
+                 m, max(8, int(32 * scale) // 8 * 8),
+                 variant="bsp", seed=seed)),
+    CellSpec("bitonic-blk", "gcel",
+             lambda m, scale, seed: bitonic.run(
+                 m, max(256, int(1024 * scale) // 256 * 256),
+                 variant="bpram", seed=seed)),
+    CellSpec("apsp", "gcel",
+             lambda m, scale, seed: apsp.run(
+                 m, max(32, int(128 * scale) // 32 * 32), seed=seed)),
+]}
+
+
+def run_cell(name: str, *, scale: float = 1.0, seed: int = 0,
+             disable: tuple[str, ...] = ()) -> list[Cell]:
+    """Run one scoreboard cell and price its trace under every model.
+
+    ``disable`` switches machine phenomena off (they must belong to the
+    cell's machine — see ``Machine.PHENOMENA``).  Calibration runs on
+    the *ablated* machine: removing a phenomenon changes the measured
+    world, and the models are re-fitted to it just as they were fitted
+    to the real one.  With ``disable=()`` this is bit-identical to the
+    cell's slice of :func:`build_scoreboard`.
+    """
+    spec = CELL_SPECS[name]
+    machine = make_machine(spec.machine, seed=seed, disable=tuple(disable))
+    cal = calibrate(machine, seed=seed)
+    res = spec.runner(machine, scale, seed)
+    return [Cell(workload=spec.name, machine=spec.machine, model=model.name,
+                 measured_us=res.time_us,
+                 predicted_us=model.trace_cost(res.trace))
+            for model in _models_for(cal)]
+
+
 def build_scoreboard(*, scale: float = 1.0, seed: int = 0) -> Scoreboard:
     """Run the workload matrix and price every trace under every model."""
     board = Scoreboard()
-    specs = [
-        # (workload label, machine, runner(machine) -> RunResult)
-        ("matmul", "cm5",
-         lambda m: matmul.run(m, max(64, int(256 * scale) // 16 * 16),
-                              variant="bsp-staggered", seed=seed)),
-        ("matmul-blk", "cm5",
-         lambda m: matmul.run(m, max(64, int(256 * scale) // 16 * 16),
-                              variant="bpram", seed=seed)),
-        ("bitonic", "maspar",
-         lambda m: bitonic.run(m, max(8, int(32 * scale) // 8 * 8),
-                               variant="bsp", seed=seed)),
-        ("bitonic-blk", "gcel",
-         lambda m: bitonic.run(m, max(256, int(1024 * scale) // 256 * 256),
-                               variant="bpram", seed=seed)),
-        ("apsp", "gcel",
-         lambda m: apsp.run(m, max(32, int(128 * scale) // 32 * 32),
-                            seed=seed)),
-    ]
-    for workload, machine_name, runner in specs:
-        machine = make_machine(machine_name, seed=seed)
-        cal = calibrate(machine, seed=seed)
-        res = runner(machine)
-        for model in _models_for(cal):
-            board.cells.append(Cell(
-                workload=workload, machine=machine_name, model=model.name,
-                measured_us=res.time_us,
-                predicted_us=model.trace_cost(res.trace)))
+    for name in CELL_SPECS:
+        board.cells.extend(run_cell(name, scale=scale, seed=seed))
     return board
 
 

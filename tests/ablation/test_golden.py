@@ -1,0 +1,93 @@
+"""Golden ablation ranking + end-to-end determinism.
+
+``tests/golden/ablate.json`` pins the full-matrix importance report at
+(scale 0.3, seed 0) — ranking order, importance values, per-cell deltas,
+everything, byte for byte.  Regenerate intentionally with
+``PYTHONPATH=src python scripts/update_golden.py``.
+
+The full-matrix tests re-run every scoreboard cell and are marked
+``slow`` (CI's chaos job picks them up via ``-m "slow and not chaos"``);
+the smoke subset keeps one single-component ablation in tier-1 and the
+``fast`` pre-commit selection.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ablation import SCHEMA, AblateRequest, ablate
+
+GOLDEN = Path(__file__).parents[1] / "golden" / "ablate.json"
+
+
+def report_bytes(report: dict) -> bytes:
+    return json.dumps(report, sort_keys=True).encode()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.golden
+@pytest.mark.slow
+class TestGoldenRanking:
+    def test_full_matrix_reproduces_golden_bytes(self, golden):
+        fresh = ablate(AblateRequest(scale=golden["scale"],
+                                     seed=golden["seed"], use_cache=False))
+        assert report_bytes(fresh) == report_bytes(golden["report"]), (
+            "ablation ranking diverged from tests/golden/ablate.json — if "
+            "the change is intentional, rerun scripts/update_golden.py")
+
+    def test_golden_ranking_is_complete_and_sorted(self, golden):
+        report = golden["report"]
+        assert report["schema"] == SCHEMA
+        ranked = {e["component"] for e in report["ranking"]}
+        skipped = {s["component"] for s in report["skipped"]}
+        assert ranked | skipped == set(report["components"])
+        mags = [abs(e["importance"]) for e in report["ranking"]]
+        assert mags == sorted(mags, reverse=True)
+
+
+@pytest.mark.slow
+class TestEndToEndDeterminism:
+    def test_serial_equals_parallel_equals_cached(self, tmp_path):
+        """The acceptance criterion: two consecutive runs, a --jobs N
+        run and a cache-hit run all produce the same bytes."""
+        req = AblateRequest(scale=0.3, seed=0,
+                            cache_dir=str(tmp_path / "cache"))
+        first = ablate(req)
+        cached = ablate(req)
+        parallel = ablate(AblateRequest(scale=0.3, seed=0, jobs=4,
+                                        use_cache=False))
+        assert report_bytes(first) == report_bytes(cached) \
+            == report_bytes(parallel)
+
+
+@pytest.mark.fast
+class TestSmokeSubset:
+    def test_single_component_ablation_round_trips(self, tmp_path):
+        """One component on one cell: schema, sign conventions, and
+        fresh == cached bytes — the sub-second tier-1/pre-commit check."""
+        req = AblateRequest(components=("sync-loss",), cells=("apsp",),
+                            scale=0.3, seed=0,
+                            cache_dir=str(tmp_path / "cache"))
+        fresh = ablate(req)
+        cached = ablate(req)
+        assert report_bytes(fresh) == report_bytes(cached)
+        assert fresh["schema"] == SCHEMA
+        assert [e["component"] for e in fresh["ranking"]] == ["sync-loss"]
+        entry = fresh["ranking"][0]
+        assert entry["harmful"] == (entry["importance"] < 0)
+        assert entry["importance"] == pytest.approx(
+            entry["ablated_mean_abs_error"]
+            - entry["baseline_mean_abs_error"])
+
+    def test_component_with_no_selected_cells_is_skipped(self):
+        report = ablate(AblateRequest(components=("cube-discount",),
+                                      cells=("apsp",), scale=0.3, seed=0,
+                                      use_cache=False))
+        assert report["ranking"] == []
+        assert [s["component"] for s in report["skipped"]] \
+            == ["cube-discount"]

@@ -125,3 +125,39 @@ class TestMachineBatchAgreement:
         # identical draws: the noise streams must end in the same state
         assert m_scalar.rng.bit_generator.state == \
             m_batch.rng.bit_generator.state
+
+
+class TestAblatedMachineBatchAgreement:
+    """The bit-identity contract survives ablation: with any subset of a
+    machine's phenomena disabled, the batched pricer must still return
+    byte-for-byte what the ablated scalar loop returns (the ablation
+    harness prices whole traces through the batch path)."""
+
+    @pytest.mark.parametrize("machine",
+                             [m for m in MACHINES
+                              if MACHINES[m].PHENOMENA])
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_pricer_equals_scalar_loop_under_ablation(self, machine, data):
+        cls = MACHINES[machine]
+        disable = tuple(data.draw(st.sets(
+            st.sampled_from(sorted(cls.PHENOMENA)), min_size=1)))
+        P = data.draw(st.sampled_from([16, 64]))
+        seed = data.draw(st.integers(0, 2 ** 16))
+        seq = draw_sequence(data.draw, P)
+        barriers = [data.draw(st.booleans()) for _ in seq]
+
+        m_scalar = cls(P=P, seed=seed, disable=disable)
+        m_batch = cls(P=P, seed=seed, disable=disable)
+        pricer = m_batch.comm_time_batch(seq)
+
+        cs = np.zeros(P)
+        cb = np.zeros(P)
+        for i, (ph, barrier) in enumerate(zip(seq, barriers)):
+            cs = m_scalar.comm_time(ph, cs, barrier=barrier)
+            cb = pricer.comm_time(i, cb, barrier=barrier)
+            assert np.array_equal(cs, cb), \
+                f"{machine} (disable={disable}) diverged at phase {i}"
+        assert m_scalar.rng.bit_generator.state == \
+            m_batch.rng.bit_generator.state

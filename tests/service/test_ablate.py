@@ -1,0 +1,88 @@
+"""``POST /ablate``: served == offline bytes, LRU dedup, validation.
+
+The acceptance oracle: a served ablation report must be byte-identical
+to :func:`repro.service.oracle.ablate_offline` — the dispatcher, the
+LRU and the service's own result cache are not allowed to change a
+single byte.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.service.oracle import ablate_offline
+
+from .conftest import http
+
+#: a single-component request so the in-worker matrix stays sub-second.
+DOC = {"components": ["sync-loss"], "cells": ["apsp"], "scale": 0.3,
+       "seed": 0}
+
+
+def offline(doc):
+    # round-trip like the HTTP layer does, so comparisons are byte-level
+    return json.loads(json.dumps(ablate_offline(doc)))
+
+
+def lru_hits(port) -> int:
+    _, text, _ = http(port, "GET", "/metrics")
+    m = re.search(r'repro_lru_hits_total\{kind="ablate"\} (\d+)', text)
+    return int(m.group(1)) if m else 0
+
+
+class TestServedBytes:
+    def test_served_equals_offline(self, service_thread):
+        status, body, _ = http(service_thread.port, "POST", "/ablate", DOC)
+        assert status == 200
+        assert body == offline(DOC)
+
+    def test_repeat_request_is_an_lru_hit_with_same_bytes(self,
+                                                          service_thread):
+        port = service_thread.port
+        doc = dict(DOC, seed=1)
+        before = lru_hits(port)
+        _, first, _ = http(port, "POST", "/ablate", doc)
+        assert lru_hits(port) == before
+        _, second, _ = http(port, "POST", "/ablate", doc)
+        assert second == first
+        assert lru_hits(port) == before + 1
+
+    def test_selection_order_shares_one_lru_entry(self, service_thread):
+        """components/cells are canonicalised into the LRU key, so
+        permuted selections dedupe onto the same cached report."""
+        port = service_thread.port
+        doc = {"components": ["sync-loss", "cube-discount"],
+               "cells": ["apsp", "bitonic"], "scale": 0.3, "seed": 2}
+        flipped = {"components": ["cube-discount", "sync-loss"],
+                   "cells": ["bitonic", "apsp"], "scale": 0.3, "seed": 2}
+        before = lru_hits(port)
+        _, first, _ = http(port, "POST", "/ablate", doc)
+        _, second, _ = http(port, "POST", "/ablate", flipped)
+        assert second == first
+        assert lru_hits(port) == before + 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("doc,fragment", [
+        ({"components": ["bogus"]}, "unknown component"),
+        ({"cells": ["bogus"]}, "unknown cell"),
+        ({"components": []}, "non-empty list"),
+        ({"scale": 1.5}, "scale"),
+        ({"seed": -1}, "seed"),
+        ([], "JSON object"),
+    ])
+    def test_bad_request_answers_422(self, service_thread, doc, fragment):
+        status, body, _ = http(service_thread.port, "POST", "/ablate", doc)
+        assert status == 422
+        assert fragment in body["error"]
+
+    def test_capabilities_advertise_the_catalog(self, service_thread):
+        status, doc, _ = http(service_thread.port, "GET", "/capabilities")
+        assert status == 200
+        abl = doc["ablation"]
+        assert {c["name"] for c in abl["components"]} >= \
+            {"sync-loss", "cube-discount", "endpoint-contention"}
+        for comp in abl["components"]:
+            assert set(comp) == {"name", "machine", "paper", "summary"}
+        assert "apsp" in abl["cells"]

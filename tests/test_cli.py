@@ -274,3 +274,60 @@ class TestAttributeCommand:
     def test_bad_choice_rejected(self):
         with pytest.raises(SystemExit):
             main(["attribute", "--workload", "quantum-sort"])
+
+
+class TestAblateCommand:
+    ARGS = ["ablate", "--components", "sync-loss", "--cells", "apsp",
+            "--scale", "0.3", "--no-cache"]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["ablate"])
+        assert args.components is None and args.cells is None
+        assert args.scale == 0.3 and args.seed == 0 and args.jobs == 1
+        assert not args.no_cache and not args.force
+
+    def test_renders_ranking_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Component importance" in out
+        assert "sync-loss" in out and "gcel" in out
+        assert "cells: apsp" in out
+
+    def test_json_to_stdout_is_the_report(self, capsys):
+        assert main(self.ARGS + ["--json", "-"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro-ablation-report/1"
+        assert report["components"] == ["sync-loss"]
+        assert report["cells"] == ["apsp"]
+        assert {e["component"] for e in report["ranking"]} == {"sync-loss"}
+
+    def test_json_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "Component importance" in out  # table still printed
+        assert json.loads(path.read_text())["schema"] \
+            == "repro-ablation-report/1"
+
+    def test_unknown_component_exits_2(self, capsys):
+        code = main(["ablate", "--components", "quantum-noise",
+                     "--no-cache"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown component 'quantum-noise'" in err
+        assert "sync-loss" in err  # the error lists the catalog
+
+    def test_malformed_fault_plan_exits_2(self, capsys):
+        code = main(self.ARGS + ["--faults", "no-such-point"])
+        assert code == 2
+        assert "no-such-point" in capsys.readouterr().err
+
+    def test_cache_makes_second_run_identical(self, tmp_path, capsys):
+        args = ["ablate", "--components", "sync-loss", "--cells", "apsp",
+                "--scale", "0.3", "--cache-dir", str(tmp_path), "--json",
+                "-"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

@@ -20,6 +20,8 @@ from repro.validation.series import ExperimentResult
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_IDS = ["fig1", "fig4", "fig14", "table1"]
+#: snapshots owned by other golden suites (tests/ablation/test_golden.py)
+EXTRA_SNAPSHOTS = ["ablate"]
 
 pytestmark = pytest.mark.golden
 
@@ -31,7 +33,7 @@ def _load(exp_id: str) -> dict:
 class TestGoldenFigures:
     def test_snapshots_exist(self):
         assert sorted(p.stem for p in GOLDEN_DIR.glob("*.json")) \
-            == sorted(GOLDEN_IDS)
+            == sorted(GOLDEN_IDS + EXTRA_SNAPSHOTS)
 
     @pytest.mark.parametrize("exp_id", GOLDEN_IDS)
     def test_bit_identical_reproduction(self, exp_id):
