@@ -174,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="--compare regression threshold as a "
                             "fraction of the previous time (default "
                             "0.25 = 25%% slower)")
+    bench.add_argument("--service", action="store_true",
+                       help="with --compare: diff the last two "
+                            "kind=service loadtest records with "
+                            "matching process topology instead of "
+                            "experiment sweeps")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -193,6 +198,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=_positive_int, default=2,
                        metavar="N",
                        help="batch-evaluation worker shards (default 2)")
+    serve.add_argument("--processes", type=_positive_int, default=1,
+                       metavar="N",
+                       help="worker processes; > 1 boots the pre-fork "
+                            "fleet with a shared result arena "
+                            "(default 1)")
+    serve.add_argument("--arena-slots", type=_positive_int, default=1024,
+                       metavar="N",
+                       help="shared-arena result slots (fleet mode; "
+                            "default 1024)")
+    serve.add_argument("--arena-slot-kb", type=_positive_int, default=32,
+                       metavar="KB",
+                       help="bytes per shared-arena slot, in KiB (fleet "
+                            "mode; default 32)")
     serve.add_argument("--window-ms", type=_nonneg_float, default=2.0,
                        metavar="MS",
                        help="micro-batching window (default 2.0 ms)")
@@ -396,15 +414,20 @@ def _run_profiled(ids: list[str], *, scale: float, seed: int,
 def _cmd_bench(ids: list[str], *, quick: bool, scale: float, seed: int,
                out: str, label: str, top: int, budgets: list[str],
                profile: bool, cache_dir: str | None, compare: bool = False,
-               tolerance: float = 0.25) -> int:
+               tolerance: float = 0.25, service: bool = False) -> int:
     from .core.errors import ExperimentError
     from .runner import (append_trajectory, check_budgets, compare_last_runs,
-                         default_cache_root, parse_budgets, render_bench,
-                         run_bench, QUICK_IDS)
+                         compare_last_service_runs, default_cache_root,
+                         parse_budgets, render_bench, run_bench, QUICK_IDS)
 
+    if service and not compare:
+        print("error: --service only makes sense with --compare",
+              file=sys.stderr)
+        return 2
     if compare:
+        differ = compare_last_service_runs if service else compare_last_runs
         try:
-            table, regressions = compare_last_runs(out, tolerance=tolerance)
+            table, regressions = differ(out, tolerance=tolerance)
         except ExperimentError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -588,7 +611,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lru_size=args.lru_size, cache_dir=args.cache_dir,
         warm=not args.no_warm,
         faults=plan.render() if plan else None,
-        request_timeout_s=args.request_timeout))
+        request_timeout_s=args.request_timeout,
+        processes=args.processes,
+        arena_slots=args.arena_slots,
+        arena_slot_bytes=args.arena_slot_kb * 1024))
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -642,7 +668,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                           seed=args.seed, out=args.out, label=args.label,
                           top=args.top, budgets=args.budget,
                           profile=args.profile, cache_dir=args.cache_dir,
-                          compare=args.compare, tolerance=args.tolerance)
+                          compare=args.compare, tolerance=args.tolerance,
+                          service=args.service)
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir, args.as_json)
     if args.command == "serve":

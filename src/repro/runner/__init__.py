@@ -6,6 +6,7 @@ from .bench import (
     append_trajectory,
     check_budgets,
     compare_last_runs,
+    compare_last_service_runs,
     parse_budgets,
     render_bench,
     run_bench,
@@ -21,6 +22,7 @@ __all__ = [
     "append_trajectory",
     "check_budgets",
     "compare_last_runs",
+    "compare_last_service_runs",
     "parse_budgets",
     "render_bench",
     "run_bench",

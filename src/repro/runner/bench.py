@@ -26,7 +26,7 @@ import numpy as np
 from ..core.errors import ExperimentError
 
 __all__ = ["BenchRecord", "run_bench", "render_bench", "parse_budgets",
-           "compare_last_runs", "QUICK_IDS"]
+           "compare_last_runs", "compare_last_service_runs", "QUICK_IDS"]
 
 #: the ``--quick`` subset: one experiment per subsystem (calibration,
 #: matmul, sorting, scatter analysis) — small enough for a CI smoke job,
@@ -213,6 +213,93 @@ def compare_last_runs(path: str | Path, *,
     ratio = total_a / total_b if total_b else float("inf")
     lines.append(f"| **total** | {total_a:.2f} | {total_b:.2f} "
                  f"| {ratio:.2f}x |")
+    return "\n".join(lines), regressions
+
+
+def compare_last_service_runs(path: str | Path, *,
+                              tolerance: float = 0.25
+                              ) -> tuple[str, list[str]]:
+    """Diff the two most recent *matching* ``kind="service"`` records.
+
+    Service loadtest records are only comparable at the same process
+    topology and load shape: the latest record is diffed against the
+    most recent earlier one with the same ``(processes, concurrency,
+    mix)`` — a 1-process and an N-process run never get compared
+    (apples-to-oranges by construction).  Regressions are throughput
+    drops past ``tolerance`` or p95 latency increases past
+    ``tolerance`` (with a 1 ms noise floor).
+    """
+    if tolerance < 0:
+        raise ExperimentError(f"tolerance must be >= 0, got {tolerance}")
+    p = Path(path)
+    if not p.exists():
+        raise ExperimentError(f"no trajectory file {p}")
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"unreadable trajectory file {p}: {exc}")
+    runs = doc.get("runs", []) if isinstance(doc, dict) else []
+    runs = [r for r in runs if isinstance(r, dict)
+            and r.get("kind") == "service"]
+    if not runs:
+        raise ExperimentError(f"{p} holds no service records")
+
+    def topology(run: dict) -> tuple:
+        # records before topology stamping carry no "processes" key;
+        # treat them as single-process so old baselines stay diffable
+        return (run.get("processes", 1) or 1, run.get("concurrency"),
+                run.get("mix"))
+
+    last = runs[-1]
+    prev = next((r for r in reversed(runs[:-1])
+                 if topology(r) == topology(last)), None)
+    if prev is None:
+        proc, conc, mix = topology(last)
+        raise ExperimentError(
+            f"{p} holds no earlier service record matching the latest "
+            f"topology (processes={proc} concurrency={conc} mix={mix})")
+
+    def _tag(run: dict) -> str:
+        return run.get("label") or run.get("utc", "?")
+
+    proc, conc, mix = topology(last)
+    lines = [f"service compare at processes={proc} concurrency={conc} "
+             f"mix={mix}:",
+             "",
+             f"| metric | {_tag(prev)} | {_tag(last)} | change |",
+             "|---|---:|---:|---:|"]
+    regressions: list[str] = []
+
+    def row(name: str, key: str, *, fmt: str = "{:.1f}",
+            better: str = "higher", floor: float = 0.0,
+            gate: bool = False) -> None:
+        a, b = prev.get(key), last.get(key)
+        if a is None or b is None:
+            lines.append(f"| {name} | {'-' if a is None else fmt.format(a)} "
+                         f"| {'-' if b is None else fmt.format(b)} | - |")
+            return
+        change = (b - a) / a if a else 0.0
+        worse = -change if better == "higher" else change
+        mark = ""
+        if worse > tolerance and abs(b - a) > floor:
+            mark = " ⚠"
+            if gate:
+                regressions.append(
+                    f"regression: {name} {fmt.format(a)} -> "
+                    f"{fmt.format(b)} ({change:+.0%} vs "
+                    f"{tolerance:.0%} tolerance)")
+        lines.append(f"| {name} | {fmt.format(a)} | {fmt.format(b)} "
+                     f"| {change:+.1%}{mark} |")
+
+    # only throughput and p95 gate (exit 3); the other rows are context
+    row("throughput (req/s)", "rps", better="higher", gate=True)
+    row("p50 (ms)", "p50_ms", fmt="{:.2f}", better="lower", floor=1.0)
+    row("p95 (ms)", "p95_ms", fmt="{:.2f}", better="lower", floor=1.0,
+        gate=True)
+    row("p99 (ms)", "p99_ms", fmt="{:.2f}", better="lower", floor=1.0)
+    row("errors", "errors", fmt="{:.0f}", better="lower", floor=10.0)
+    row("mean batch", "mean_batch", fmt="{:.2f}", better="higher")
+    row("LRU hit ratio", "lru_hit_ratio", fmt="{:.3f}", better="higher")
     return "\n".join(lines), regressions
 
 

@@ -19,6 +19,13 @@ so the caller recomputes and the next ``put`` heals the slot.  The
 chaos suite drives this path via the ``cache-corrupt``/``cache-truncate``
 /``cache-stale`` fault points, which mangle the payload between
 serialisation and the atomic rename.
+
+Fleet mode: when a shared-memory arena is attached (``arena=``), the
+exact on-disk entry text is mirrored into it, so sibling worker
+processes hit warm entries without touching the filesystem.  Arena
+entries carry the same embedded checksum as the files and go through
+the same verification on read — a poisoned arena slot is invalidated
+and the read falls back to disk (and from there to recompute).
 """
 
 from __future__ import annotations
@@ -87,9 +94,11 @@ class CacheStats:
 class ResultCache:
     """Read/write access to the content-addressed result store."""
 
-    def __init__(self, root: Path | str | None = None):
+    def __init__(self, root: Path | str | None = None, *, arena=None):
         self.root = Path(root) if root is not None else default_cache_root()
         self.stats = CacheStats()
+        #: optional cross-process entry mirror (fleet mode).
+        self.arena = arena
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -107,6 +116,23 @@ class ResultCache:
         except OSError:
             pass
 
+    @staticmethod
+    def _verify_payload(raw: str) -> dict | None:
+        """Parse + checksum-verify one entry text; None when invalid."""
+        try:
+            doc = json.loads(raw)
+            if doc.get("format") != _FORMAT:
+                raise ValueError("unknown cache format")
+            if doc.get("checksum") != _result_checksum(doc["result"]):
+                raise ValueError("checksum mismatch")
+        except (ValueError, KeyError, TypeError):
+            return None
+        return doc
+
+    @staticmethod
+    def _arena_key(key: str) -> bytes:
+        return f"rc:{key}".encode()
+
     def get_doc(self, key: str, label: str = "?") -> dict | None:
         """The raw JSON payload cached under ``key``, or None.
 
@@ -115,6 +141,18 @@ class ResultCache:
         JSON instead of an :class:`ExperimentResult` (the ablation
         harness caches per-cell scoreboard documents this way).
         """
+        if self.arena is not None:
+            hot = self.arena.get(self._arena_key(key))
+            if hot is not None:
+                try:
+                    doc = self._verify_payload(hot.decode())
+                except UnicodeDecodeError:
+                    doc = None
+                if doc is not None:
+                    self.stats.record(label, hit=True)
+                    return doc["result"]
+                # poisoned slot: drop it and fall back to disk
+                self.arena.invalidate(self._arena_key(key))
         path = self._path(key)
         try:
             with open(path) as fh:
@@ -122,16 +160,13 @@ class ResultCache:
         except OSError:
             self.stats.record(label, hit=False)
             return None
-        try:
-            doc = json.loads(raw)
-            if doc.get("format") != _FORMAT:
-                raise ValueError("unknown cache format")
-            if doc.get("checksum") != _result_checksum(doc["result"]):
-                raise ValueError("checksum mismatch")
-        except (ValueError, KeyError, TypeError):
+        doc = self._verify_payload(raw)
+        if doc is None:
             self._quarantine(path)
             self.stats.record(label, hit=False)
             return None
+        if self.arena is not None:
+            self.arena.put(self._arena_key(key), raw.encode())
         self.stats.record(label, hit=True)
         return doc["result"]
 
@@ -191,6 +226,10 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.arena is not None:
+            # mirror the exact stored text — fault-mangled payloads stay
+            # mangled, so arena readers verify the same bytes as disk
+            self.arena.put(self._arena_key(key), payload.encode())
         self.stats.stores += 1
         return path
 

@@ -86,6 +86,11 @@ class LoadtestReport:
     batch_count: int = 0
     batch_buckets: dict[str, int] = field(default_factory=dict)
     lru_hit_ratio: float = 0.0
+    #: server topology from the /healthz probe: worker *processes* and
+    #: per-process batch threads — stamped into the trajectory record so
+    #: `bench --compare --service` never diffs mismatched fleets.
+    processes: int = 1
+    server_workers: int = 0
 
     @property
     def total(self) -> int:
@@ -120,6 +125,8 @@ class LoadtestReport:
             "host": platform.node(),
             "cpus": os.cpu_count(),
             "concurrency": self.concurrency,
+            "processes": self.processes,
+            "workers": self.server_workers,
             "duration_s": round(self.duration_s, 3),
             "mix": ":".join(str(w) for w in self.mix),
             "requests": self.total,
@@ -234,8 +241,15 @@ async def run_loadtest(host: str, port: int, *, concurrency: int = 16,
     report = LoadtestReport(concurrency=concurrency, duration_s=duration_s,
                             mix=mix)
     # sanity probe first: a connection error here is a clean failure
-    # instead of `concurrency x duration` buried ones
-    await _fetch_text(host, port, "/healthz")
+    # instead of `concurrency x duration` buried ones; its body also
+    # carries the server's process topology for the trajectory record
+    health = await _fetch_text(host, port, "/healthz")
+    try:
+        doc = json.loads(health)
+        report.processes = int(doc.get("processes", 1) or 1)
+        report.server_workers = int(doc.get("workers", 0) or 0)
+    except (ValueError, TypeError):
+        pass
 
     lock = asyncio.Lock()
     loop = asyncio.get_running_loop()
@@ -264,6 +278,7 @@ def render_report(report: LoadtestReport) -> str:
     lines = [
         f"loadtest: {report.total} requests in {report.duration_s:.1f}s "
         f"at concurrency {report.concurrency} "
+        f"against {report.processes} server process(es) "
         f"(mix predict:compare:experiment = "
         f"{':'.join(str(w) for w in report.mix)})",
         "",

@@ -23,18 +23,31 @@ metric                                    type       labels
 ``repro_faults_injected_total``           counter    ``point``
 ``repro_retries_total``                   counter    ``site``
 ``repro_rejected_total``                  counter    ``reason``
+``repro_arena_ops_total``                 counter    ``op``
 ========================================  =========  ======================
 
-The last three instrument the fault-injection/recovery layer
+``repro_faults_injected_total`` / ``repro_retries_total`` /
+``repro_rejected_total`` instrument the fault-injection/recovery layer
 (:mod:`repro.faults`): how often each fault point fired, how many
 bounded retries the dispatcher spent, and why requests were shed
 (``breaker`` | ``saturated`` | ``deadline``).
+``repro_arena_ops_total`` mirrors the shared-memory arena's counters
+(``hit`` | ``miss`` | ``put`` | ``skip`` | ``quarantine`` |
+``contended``) when the fleet arena is attached.
+
+Fleet aggregation: every metric can dump a structural
+:meth:`~_Metric.snapshot`; :func:`merge_snapshots` folds the snapshots
+of N worker processes into fleet-wide totals (counters and histograms
+sum, gauges follow per-metric rules) and :func:`render_snapshot` turns
+a snapshot back into exposition text — for one worker's own snapshot,
+byte-identical to its ``render()``.
 """
 
 from __future__ import annotations
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "ServiceMetrics", "parse_histogram"]
+           "ServiceMetrics", "parse_histogram", "merge_snapshots",
+           "render_snapshot"]
 
 #: default latency buckets, in seconds (1 ms ... 10 s).
 LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
@@ -73,6 +86,10 @@ class _Metric:
         return [f"# HELP {self.name} {self.help}",
                 f"# TYPE {self.name} {self.kind}"]
 
+    def _snapshot_head(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "help": self.help,
+                "labels": list(self.labelnames)}
+
 
 class Counter(_Metric):
     kind = "counter"
@@ -84,6 +101,12 @@ class Counter(_Metric):
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = tuple(str(labels[n]) for n in self.labelnames)
         self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set(self, value: float, **labels) -> None:
+        """Absolute update — for mirroring an externally maintained
+        monotonic count (e.g. the shared arena's own stats)."""
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        self._values[key] = float(value)
 
     def value(self, **labels) -> float:
         key = tuple(str(labels[n]) for n in self.labelnames)
@@ -100,6 +123,10 @@ class Counter(_Metric):
         if not self._values and not self.labelnames:
             lines.append(f"{self.name} 0")
         return lines
+
+    def snapshot(self) -> dict:
+        return {**self._snapshot_head(),
+                "values": [[list(k), v] for k, v in self._values.items()]}
 
 
 class Gauge(_Metric):
@@ -137,6 +164,13 @@ class Gauge(_Metric):
         if not values and not self.labelnames:
             lines.append(f"{self.name} 0")
         return lines
+
+    def snapshot(self) -> dict:
+        values = self._values
+        if self.callback is not None:
+            values = {(): float(self.callback())}
+        return {**self._snapshot_head(),
+                "values": [[list(k), v] for k, v in values.items()]}
 
 
 class Histogram(_Metric):
@@ -191,6 +225,11 @@ class Histogram(_Metric):
                          f"{_labelstr(self.labelnames, key)} {n}")
         return lines
 
+    def snapshot(self) -> dict:
+        return {**self._snapshot_head(), "buckets": list(self.buckets),
+                "series": [[list(k), counts, total, n]
+                           for k, (counts, total, n) in self._series.items()]}
+
 
 class MetricsRegistry:
     """An ordered collection of metrics with one ``render()``."""
@@ -207,6 +246,9 @@ class MetricsRegistry:
         for m in self._metrics:
             lines.extend(m.render())
         return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> list[dict]:
+        return [m.snapshot() for m in self._metrics]
 
 
 class ServiceMetrics:
@@ -243,6 +285,8 @@ class ServiceMetrics:
         self.rejected = r.register(Counter(
             "repro_rejected_total",
             "Requests shed for graceful degradation.", ("reason",)))
+        self.arena_ops = r.register(Counter(
+            "repro_arena_ops_total", "Shared-arena operations.", ("op",)))
         info = r.register(Gauge(
             "repro_service_info", "Service metadata.", ("version",)))
         info.set(1, version=version)
@@ -254,6 +298,127 @@ class ServiceMetrics:
 
     def render(self) -> str:
         return self.registry.render()
+
+    def snapshot(self) -> list[dict]:
+        return self.registry.snapshot()
+
+
+#: gauges merged by max rather than sum (identical on every worker).
+_GAUGE_MAX = {"repro_service_info"}
+
+
+def merge_snapshots(snaps: list[list[dict]]) -> list[dict]:
+    """Fold per-worker registry snapshots into fleet-wide totals.
+
+    Counters and histograms sum per label key; gauges sum too (inflight
+    requests, etc.) except ``repro_service_info`` (max — every worker
+    reports the same build) and ``repro_lru_hit_ratio``, which is
+    recomputed from the merged hit/miss counters instead of averaging
+    per-worker ratios.  Metric order follows first appearance, so a
+    single-worker merge renders byte-identical to that worker.
+    """
+    order: list[str] = []
+    merged: dict[str, dict] = {}
+    for snap in snaps:
+        for metric in snap:
+            name = metric["name"]
+            slot = merged.get(name)
+            if slot is None:
+                order.append(name)
+                slot = merged[name] = {
+                    "name": name, "kind": metric["kind"],
+                    "help": metric["help"],
+                    "labels": list(metric["labels"])}
+                if metric["kind"] == "histogram":
+                    slot["buckets"] = list(metric["buckets"])
+                    slot["_series"] = {}
+                else:
+                    slot["_values"] = {}
+            if metric["kind"] == "histogram":
+                series = slot["_series"]
+                for key, counts, total, n in metric["series"]:
+                    k = tuple(key)
+                    row = series.get(k)
+                    if row is None:
+                        series[k] = [list(counts), total, n]
+                    else:
+                        row[0] = [a + b for a, b in zip(row[0], counts)]
+                        row[1] += total
+                        row[2] += n
+            else:
+                values = slot["_values"]
+                use_max = name in _GAUGE_MAX
+                for key, value in metric["values"]:
+                    k = tuple(key)
+                    if use_max and k in values:
+                        values[k] = max(values[k], value)
+                    else:
+                        values[k] = values.get(k, 0.0) + value
+
+    def _total(name: str) -> float:
+        slot = merged.get(name)
+        return sum(slot["_values"].values()) if slot else 0.0
+
+    if "repro_lru_hit_ratio" in merged:
+        hits = _total("repro_lru_hits_total")
+        total = hits + _total("repro_lru_misses_total")
+        merged["repro_lru_hit_ratio"]["_values"] = {
+            (): hits / total if total else 0.0}
+
+    out: list[dict] = []
+    for name in order:
+        slot = merged[name]
+        doc = {k: slot[k] for k in ("name", "kind", "help", "labels")}
+        if slot["kind"] == "histogram":
+            doc["buckets"] = slot["buckets"]
+            doc["series"] = [[list(k), counts, total, n]
+                             for k, (counts, total, n)
+                             in slot["_series"].items()]
+        else:
+            doc["values"] = [[list(k), v]
+                             for k, v in slot["_values"].items()]
+        out.append(doc)
+    return out
+
+
+def render_snapshot(metrics: list[dict]) -> str:
+    """Render a (merged) snapshot as Prometheus exposition text.
+
+    Mirrors the per-metric ``render()`` methods exactly so that a
+    single worker's snapshot renders byte-identical to its own
+    ``/metrics`` output.
+    """
+    lines: list[str] = []
+    for m in metrics:
+        name, labelnames = m["name"], tuple(m["labels"])
+        lines.append(f"# HELP {name} {m['help']}")
+        lines.append(f"# TYPE {name} {m['kind']}")
+        if m["kind"] == "histogram":
+            buckets = m["buckets"]
+            series = {tuple(k): (counts, total, n)
+                      for k, counts, total, n in m["series"]}
+            if not series and not labelnames:
+                series = {(): ([0] * len(buckets), 0.0, 0)}
+            names = labelnames + ("le",)
+            for key in sorted(series):
+                counts, total, n = series[key]
+                for i, b in enumerate(buckets):
+                    lines.append(f"{name}_bucket"
+                                 f"{_labelstr(names, key + (_fmt(b),))} "
+                                 f"{counts[i]}")
+                lines.append(f"{name}_bucket"
+                             f"{_labelstr(names, key + ('+Inf',))} {n}")
+                lines.append(f"{name}_sum{_labelstr(labelnames, key)} "
+                             f"{_fmt(total)}")
+                lines.append(f"{name}_count{_labelstr(labelnames, key)} {n}")
+        else:
+            values = {tuple(k): v for k, v in m["values"]}
+            for key in sorted(values):
+                lines.append(f"{name}{_labelstr(labelnames, key)} "
+                             f"{_fmt(values[key])}")
+            if not values and not labelnames:
+                lines.append(f"{name} 0")
+    return "\n".join(lines) + "\n"
 
 
 def parse_histogram(text: str, name: str) -> tuple[dict[str, int], float, int]:

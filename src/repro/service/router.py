@@ -80,6 +80,10 @@ async def healthz(app, request: Request) -> Response:
         "version": __version__,
         "uptime_s": round(app.uptime_s, 3),
         "lru_entries": len(app.batcher.cache),
+        "processes": app.config.processes,
+        "workers": app.config.workers,
+        "worker_index": app.config.worker_index,
+        "arena": app.arena is not None,
     })
 
 
@@ -231,7 +235,24 @@ async def ablate(app, request: Request) -> Response:
 
 
 async def metrics(app, request: Request) -> Response:
-    return Response.text(app.metrics.render())
+    """Prometheus exposition; fleet-aggregated when a board is shared.
+
+    Under SO_REUSEPORT the scrape lands on *one* worker, so that worker
+    publishes its own fresh snapshot, reads every live sibling's from
+    the shared board (the supervisor's fleet gauges included), and
+    renders the merged totals — any worker answers for the whole fleet.
+    """
+    app.sync_arena_metrics()
+    if app.board is None:
+        return Response.text(app.metrics.render())
+    from .metrics import merge_snapshots, render_snapshot
+
+    index = app.config.worker_index or 0
+    app.board.publish(index, {"worker": index,
+                              "metrics": app.metrics.snapshot()})
+    snaps = [doc["metrics"] for doc in app.board.read_all()
+             if isinstance(doc, dict) and "metrics" in doc]
+    return Response.text(render_snapshot(merge_snapshots(snaps)))
 
 
 def default_router() -> Router:

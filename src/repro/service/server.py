@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 import threading
@@ -24,7 +25,7 @@ from dataclasses import dataclass
 
 from .. import __version__
 from ..faults import (CircuitBreaker, FaultPlan, RetryPolicy, deactivate,
-                      fault_point, install)
+                      fault_flag, fault_point, install)
 from .batcher import MicroBatcher
 from .httpd import HttpError, Response, encode_response, read_request
 from .metrics import ServiceMetrics
@@ -51,6 +52,14 @@ class ServiceConfig:
     cache_dir: str | None = None
     warm: bool = True
     drain_timeout_s: float = 10.0
+    #: worker processes; > 1 boots the pre-fork fleet supervisor
+    #: (:mod:`repro.service.fleet`) with a shared result arena.
+    processes: int = 1
+    #: shared-arena geometry (fleet mode only).
+    arena_slots: int = 1024
+    arena_slot_bytes: int = 32768
+    #: set in fleet workers: this process's index in [0, processes).
+    worker_index: int | None = None
     #: fault plan text (``repro serve --faults``), installed at boot.
     faults: str | None = None
     #: per-request deadline on /predict and /compare; past it the client
@@ -69,8 +78,10 @@ class ServiceConfig:
 class ServiceApp:
     """Shared handler state (what :mod:`.router` handlers see as ``app``)."""
 
-    def __init__(self, config: ServiceConfig):
+    def __init__(self, config: ServiceConfig, *, arena=None, board=None):
         self.config = config
+        self.arena = arena
+        self.board = board
         self.metrics = ServiceMetrics(version=__version__)
         self._injector = None
         if config.faults:
@@ -86,7 +97,8 @@ class ServiceApp:
             metrics=self.metrics,
             retry=RetryPolicy(max_attempts=3, base_delay_s=0.01,
                               max_delay_s=0.1),
-            saturation_limit=config.saturation_limit)
+            saturation_limit=config.saturation_limit,
+            arena=arena)
         self.router = default_router()
         #: per-prediction-key circuit breakers (fault isolation: one
         #: poisoned key never takes down its neighbours).
@@ -102,11 +114,28 @@ class ServiceApp:
         from ..experiments import all_experiments
         from ..runner import ResultCache
         self.experiments = all_experiments()
-        self.result_cache = ResultCache(config.cache_dir)
+        self.result_cache = ResultCache(config.cache_dir, arena=arena)
 
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self._started_at
+
+    def sync_arena_metrics(self) -> None:
+        """Mirror the arena's own counters into ``repro_arena_ops_total``.
+
+        The arena keeps its counts itself (hits from the batcher *and*
+        the result cache land in one place), so the Prometheus counter
+        is an absolute mirror taken at scrape/publish time.
+        """
+        if self.arena is None:
+            return
+        for op, n in self.arena.stats.as_dict().items():
+            self.metrics.arena_ops.set(n, op=op)
+
+    def metrics_snapshot(self) -> list[dict]:
+        """This worker's registry snapshot (fleet aggregation unit)."""
+        self.sync_arena_metrics()
+        return self.metrics.snapshot()
 
     def _evaluate(self, items):
         """The batch evaluator, instrumented with dispatch fault points.
@@ -149,8 +178,13 @@ class ServiceApp:
         return run_experiments([exp_id], scale=scale, seed=seed, jobs=1,
                                cache=self.result_cache)[0]
 
-    def warm(self) -> None:
-        """Pre-fit the three paper calibrations (blocking; boot time)."""
+    @staticmethod
+    def warm() -> None:
+        """Pre-fit the three paper calibrations (blocking; boot time).
+
+        A staticmethod so the fleet supervisor can warm the process-wide
+        memo *before* forking — every worker inherits the fits for free.
+        """
         from ..calibration.table1 import calibration_for
 
         for name, P in (("maspar", 1024), ("gcel", 64), ("cm5", 64)):
@@ -158,13 +192,22 @@ class ServiceApp:
 
 
 class ReproService:
-    """The asyncio HTTP server around one :class:`ServiceApp`."""
+    """The asyncio HTTP server around one :class:`ServiceApp`.
 
-    def __init__(self, config: ServiceConfig | None = None):
+    In fleet mode each worker process runs one of these over a shared
+    arena/metrics board (``arena=``/``board=``) and either its own
+    SO_REUSEPORT socket or an inherited shared listener
+    (``listen_sock=``).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 arena=None, board=None, listen_sock=None):
         self.config = config or ServiceConfig()
-        self.app = ServiceApp(self.config)
+        self.app = ServiceApp(self.config, arena=arena, board=board)
+        self._listen_sock = listen_sock
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._publish_task: asyncio.Task | None = None
         self._stopping = asyncio.Event()
         self.port: int | None = None
 
@@ -176,9 +219,25 @@ class ReproService:
             await asyncio.get_running_loop().run_in_executor(
                 self.app.executor, self.app.warm)
         await self.app.batcher.start()
-        self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port)
+        if self._listen_sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._listen_sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.app.board is not None:
+            self._publish_task = asyncio.create_task(
+                self._publish_metrics(), name="metrics-publisher")
+
+    async def _publish_metrics(self) -> None:
+        """Periodically publish this worker's snapshot to the board."""
+        index = self.config.worker_index or 0
+        while True:
+            self.app.board.publish(index, {
+                "worker": index,
+                "metrics": self.app.metrics_snapshot()})
+            await asyncio.sleep(0.5)
 
     def request_stop(self) -> None:
         """Ask the serve loop to shut down (signal-handler safe)."""
@@ -187,6 +246,10 @@ class ReproService:
     async def stop(self) -> None:
         """Graceful: stop accepting, drain in-flight, then tear down."""
         self._stopping.set()
+        if self._publish_task is not None:
+            self._publish_task.cancel()
+            await asyncio.gather(self._publish_task, return_exceptions=True)
+            self._publish_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -221,6 +284,10 @@ class ReproService:
         self._conn_tasks.add(task)
         task.add_done_callback(self._conn_tasks.discard)
         try:
+            if fault_flag("handoff-loss"):
+                # the accepted connection is dropped before any request
+                # is read — clients see a reset and retry elsewhere
+                return
             await self._serve_connection(reader, writer)
         finally:
             with contextlib.suppress(Exception):
@@ -244,6 +311,14 @@ class ReproService:
                 return
             if request is None:  # clean EOF
                 return
+
+            if self.config.worker_index is not None \
+                    and fault_flag("worker-exit"):
+                # a fleet worker dying mid-request: the supervisor
+                # respawns it, the client sees a reset and retries.
+                # Guarded to fleet workers so in-process test servers
+                # never take the test runner down with them.
+                os._exit(23)
 
             endpoint = self.app.router.endpoint_of(request.method,
                                                    request.path)
@@ -292,8 +367,13 @@ async def _amain(config: ServiceConfig, *, ready=None) -> None:
 
 def run_service(config: ServiceConfig | None = None) -> int:
     """Blocking entry point for ``repro serve``."""
+    config = config or ServiceConfig()
+    if config.processes > 1:
+        from .fleet import run_fleet
+
+        return run_fleet(config)
     try:
-        asyncio.run(_amain(config or ServiceConfig()))
+        asyncio.run(_amain(config))
     except KeyboardInterrupt:
         pass
     return 0
@@ -308,8 +388,11 @@ class ServiceThread:
             urllib.request.urlopen(f"http://127.0.0.1:{svc.port}/healthz")
     """
 
-    def __init__(self, config: ServiceConfig | None = None):
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 arena=None, board=None):
         self.config = config or ServiceConfig(port=0)
+        self.arena = arena
+        self.board = board
         self.service: ReproService | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
@@ -327,7 +410,8 @@ class ServiceThread:
 
     async def _amain(self) -> None:
         self._loop = asyncio.get_running_loop()
-        self.service = ReproService(self.config)
+        self.service = ReproService(self.config, arena=self.arena,
+                                    board=self.board)
         await self.service.start()
         self._ready.set()
         try:

@@ -8,7 +8,8 @@ from repro.cli import main
 from repro.core.errors import ExperimentError
 from repro.runner.bench import (BenchRecord, QUICK_IDS, append_trajectory,
                                 check_budgets, compare_last_runs,
-                                parse_budgets, render_bench, run_bench)
+                                compare_last_service_runs, parse_budgets,
+                                render_bench, run_bench)
 from repro.runner.profile import profile_path, profiled_run, render_profile
 
 # the cheapest registered experiment — keeps these tests out of the
@@ -236,3 +237,116 @@ class TestCompareCli:
                      "--out", str(tmp_path / "nope.json")])
         assert code == 2
         assert "no trajectory" in capsys.readouterr().err
+
+
+def _service_run(label, *, rps, p95=10.0, processes=2, concurrency=16,
+                 mix="8:1:1", **extra):
+    run = {"kind": "service", "label": label, "rps": rps, "p50_ms": 1.0,
+           "p95_ms": p95, "p99_ms": p95 * 2, "errors": 0, "mean_batch": 2.0,
+           "lru_hit_ratio": 0.9, "processes": processes,
+           "concurrency": concurrency, "mix": mix}
+    run.update(extra)
+    return run
+
+
+def _service_trajectory(tmp_path, runs):
+    out = tmp_path / "traj.json"
+    out.write_text(json.dumps({"runs": runs}))
+    return out
+
+
+class TestCompareLastServiceRuns:
+    def test_diffs_matching_topology_only(self, tmp_path):
+        # the nearest earlier record has a different process count; the
+        # diff must reach past it to the matching 2-process baseline
+        out = _service_trajectory(tmp_path, [
+            _service_run("old-2p", rps=1000.0),
+            _service_run("1p", rps=400.0, processes=1),
+            _service_run("new-2p", rps=1100.0),
+        ])
+        table, regressions = compare_last_service_runs(out)
+        assert regressions == []
+        assert "processes=2" in table
+        assert "old-2p" in table and "new-2p" in table and "1p" not in table
+        assert "+10.0%" in table
+
+    def test_throughput_drop_past_tolerance_gates(self, tmp_path):
+        out = _service_trajectory(tmp_path, [
+            _service_run("before", rps=1000.0),
+            _service_run("after", rps=500.0),
+        ])
+        table, regressions = compare_last_service_runs(out, tolerance=0.25)
+        (msg,) = regressions
+        assert "throughput" in msg and "-50%" in msg
+        assert "⚠" in table
+
+    def test_p95_increase_gates_with_noise_floor(self, tmp_path):
+        # 3x worse p95 but only 0.4 ms absolute: under the 1 ms floor
+        out = _service_trajectory(tmp_path, [
+            _service_run("before", rps=1000.0, p95=0.2),
+            _service_run("after", rps=1000.0, p95=0.6),
+        ])
+        _, regressions = compare_last_service_runs(out)
+        assert regressions == []
+        out = _service_trajectory(tmp_path, [
+            _service_run("before", rps=1000.0, p95=10.0),
+            _service_run("after", rps=1000.0, p95=25.0),
+        ])
+        _, regressions = compare_last_service_runs(out)
+        assert len(regressions) == 1 and "p95" in regressions[0]
+
+    def test_unstamped_records_count_as_single_process(self, tmp_path):
+        # pre-topology-stamping baselines diff against processes=1 runs
+        old = _service_run("legacy", rps=900.0, processes=1)
+        del old["processes"]
+        out = _service_trajectory(tmp_path, [
+            old, _service_run("new-1p", rps=950.0, processes=1)])
+        table, regressions = compare_last_service_runs(out)
+        assert regressions == []
+        assert "legacy" in table and "processes=1" in table
+
+    def test_no_matching_baseline_raises(self, tmp_path):
+        out = _service_trajectory(tmp_path, [
+            _service_run("1p", rps=400.0, processes=1),
+            _service_run("2p", rps=1000.0, processes=2),
+        ])
+        with pytest.raises(ExperimentError, match="matching the latest"):
+            compare_last_service_runs(out)
+
+    def test_ignores_experiment_records(self, tmp_path):
+        out = tmp_path / "traj.json"
+        out.write_text(json.dumps({"runs": [
+            {"label": "bench", "experiments": {"fig1": 1.0}},
+        ]}))
+        with pytest.raises(ExperimentError, match="no service records"):
+            compare_last_service_runs(out)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no trajectory"):
+            compare_last_service_runs(tmp_path / "nope.json")
+
+
+class TestServiceCompareCli:
+    def test_exit_zero_and_table(self, tmp_path, capsys):
+        out = _service_trajectory(tmp_path, [
+            _service_run("before", rps=1000.0),
+            _service_run("after", rps=1200.0),
+        ])
+        code = main(["bench", "--compare", "--service", "--out", str(out)])
+        assert code == 0
+        assert "throughput (req/s)" in capsys.readouterr().out
+
+    def test_exit_three_on_regression(self, tmp_path, capsys):
+        out = _service_trajectory(tmp_path, [
+            _service_run("before", rps=1000.0),
+            _service_run("after", rps=100.0),
+        ])
+        code = main(["bench", "--compare", "--service", "--out", str(out)])
+        assert code == 3
+        assert "regression" in capsys.readouterr().err
+
+    def test_service_without_compare_exits_two(self, tmp_path, capsys):
+        code = main(["bench", "--service",
+                     "--out", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "--service" in capsys.readouterr().err

@@ -113,3 +113,23 @@ class TestLiveRun:
         with pytest.raises(OSError):
             asyncio.run(run_loadtest("127.0.0.1", 1, concurrency=1,
                                      duration_s=0.1))
+
+
+class TestTopologyStamp:
+    def test_record_carries_process_topology(self):
+        report = LoadtestReport(concurrency=4, duration_s=1.0,
+                                mix=(1, 0, 0))
+        report.processes = 3
+        report.server_workers = 2
+        record = report.to_record("stamped")
+        assert record["processes"] == 3
+        assert record["workers"] == 2
+        assert record["cpus"] is not None
+
+    def test_live_probe_stamps_single_process_topology(self, service_thread):
+        report = asyncio.run(run_loadtest(
+            "127.0.0.1", service_thread.port, concurrency=2,
+            duration_s=0.5, mix=(1, 0, 0), seed=0))
+        assert report.processes == 1
+        assert report.server_workers == 2
+        assert f"against 1 server process(es)" in render_report(report)

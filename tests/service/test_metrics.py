@@ -105,3 +105,92 @@ class TestRegistry:
         text = r.render()
         assert text.index("a_total") < text.index("# HELP b hb")
         assert text.endswith("\n")
+
+
+class TestFleetAggregation:
+    """snapshot() / merge_snapshots() / render_snapshot() — the
+    fleet-wide /metrics pipeline."""
+
+    @staticmethod
+    def _worker_metrics(hits=1, misses=1):
+        m = ServiceMetrics(version="9.9.9")
+        m.requests.inc(endpoint="/predict", status="200")
+        m.latency.observe(0.002, endpoint="/predict")
+        m.batch_size.observe(3)
+        m.batches.inc()
+        for _ in range(hits):
+            m.lru_hits.inc(kind="predict")
+        for _ in range(misses):
+            m.lru_misses.inc(kind="predict")
+        m.inflight.set(2)
+        m.arena_ops.set(5, op="hit")
+        return m
+
+    def test_single_snapshot_renders_byte_identical(self):
+        from repro.service.metrics import merge_snapshots, render_snapshot
+
+        m = self._worker_metrics()
+        assert render_snapshot(m.snapshot()) == m.render()
+        # and merging a fleet of one changes nothing either
+        assert render_snapshot(merge_snapshots([m.snapshot()])) == m.render()
+
+    def test_merge_sums_counters_and_histograms(self):
+        from repro.service.metrics import merge_snapshots, render_snapshot
+
+        a = self._worker_metrics()
+        b = self._worker_metrics()
+        text = render_snapshot(merge_snapshots([a.snapshot(), b.snapshot()]))
+        assert 'repro_requests_total{endpoint="/predict",status="200"} 2' \
+            in text
+        assert "repro_batches_total 2" in text
+        assert "repro_batch_size_count 2" in text
+        assert 'repro_arena_ops_total{op="hit"} 10' in text
+        # plain gauges sum (2 in-flight on each worker = 4 fleet-wide)
+        assert "repro_inflight_requests 4" in text
+
+    def test_info_gauge_merges_by_max(self):
+        from repro.service.metrics import merge_snapshots, render_snapshot
+
+        a = self._worker_metrics()
+        b = self._worker_metrics()
+        text = render_snapshot(merge_snapshots([a.snapshot(), b.snapshot()]))
+        assert 'repro_service_info{version="9.9.9"} 1' in text
+
+    def test_hit_ratio_recomputed_from_merged_totals(self):
+        from repro.service.metrics import merge_snapshots
+
+        a = self._worker_metrics(hits=3, misses=1)   # 0.75 locally
+        b = self._worker_metrics(hits=0, misses=4)   # 0.0 locally
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        ratio = next(m for m in merged
+                     if m["name"] == "repro_lru_hit_ratio")
+        # 3 hits / 8 lookups — not the 0.375 average of the two ratios
+        assert ratio["values"] == [[[], 3 / 8]]
+
+    def test_callback_gauge_snapshot_captures_value(self):
+        m = self._worker_metrics(hits=1, misses=0)
+        snap = next(s for s in m.snapshot()
+                    if s["name"] == "repro_lru_hit_ratio")
+        assert snap["values"] == [[[], 1.0]]
+
+    def test_merge_keeps_first_appearance_order(self):
+        from repro.service.metrics import merge_snapshots
+
+        a = self._worker_metrics()
+        b = self._worker_metrics()
+        names_a = [m["name"] for m in a.snapshot()]
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert [m["name"] for m in merged] == names_a
+
+    def test_supervisor_style_snapshot_merges_in(self):
+        """The fleet supervisor publishes hand-built snapshot docs for
+        its own gauges/counters; they merge like any worker's."""
+        from repro.service.metrics import merge_snapshots, render_snapshot
+
+        sup = [{"name": "repro_fleet_workers", "kind": "gauge",
+                "help": "Live fleet workers.", "labels": [],
+                "values": [[[], 2]]}]
+        m = self._worker_metrics()
+        text = render_snapshot(merge_snapshots([m.snapshot(), sup]))
+        assert "repro_fleet_workers 2" in text
+        assert "# TYPE repro_fleet_workers gauge" in text

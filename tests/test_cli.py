@@ -331,3 +331,34 @@ class TestAblateCommand:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestFleetArguments:
+    def test_serve_fleet_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.processes == 1
+        assert args.arena_slots == 1024
+        assert args.arena_slot_kb == 32
+
+    def test_serve_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--processes", "4", "--arena-slots", "256",
+             "--arena-slot-kb", "64"])
+        assert args.processes == 4
+        assert args.arena_slots == 256
+        assert args.arena_slot_kb == 64
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--processes", "0"],
+        ["serve", "--processes", "-2"],
+        ["serve", "--arena-slots", "0"],
+        ["serve", "--arena-slot-kb", "0"],
+    ])
+    def test_non_positive_fleet_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_bench_service_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--compare", "--service"])
+        assert args.service is True and args.compare is True
