@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI gate: record → serialise → replay parity for the step-program IR.
+
+For a spread of (machine, algorithm) configurations this script
+
+1. records the step program and prices it (``engine="ir"``, fresh
+   store), writing the canonical blob to disk,
+2. reloads the blob in a second fresh store (the "new process" path,
+   checksum verification included), re-serialises it and **diffs the
+   bytes** — canonical encoding means any drift is a bug,
+3. replays the reloaded program and compares clocks, trace and per-rank
+   results **bit-for-bit** against the generator engine's run of the
+   same configuration.
+
+Exit code 0 only if every configuration passes all three.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import apsp, bitonic, lu, matmul, samplesort  # noqa: E402
+from repro.machines import CM5, GCel, MasParMP1, T800Grid  # noqa: E402
+from repro.simulator.ir import (IRStore, _decode_blob, _encode_blob,  # noqa: E402
+                                StepProgram, ir_store_scope)
+
+MACHINES = {"maspar": MasParMP1, "gcel": GCel, "cm5": CM5, "t800": T800Grid}
+
+CASES = [
+    ("matmul", lambda m, e: matmul.run(m, 24, P=8, seed=3, engine=e)),
+    ("bitonic", lambda m, e: bitonic.run(m, 256, P=16, seed=5, engine=e)),
+    ("lu", lambda m, e: lu.run(m, 32, P=16, seed=7, engine=e)),
+    ("apsp", lambda m, e: apsp.run(m, 24, P=16, seed=11, engine=e)),
+    ("samplesort", lambda m, e: samplesort.run(m, 512, P=16, seed=13,
+                                               engine=e)),
+]
+
+
+def identical(a, b) -> bool:
+    if a.time_us != b.time_us or not np.array_equal(a.clocks, b.clocks):
+        return False
+    if len(a.returns) != len(b.returns):
+        return False
+    for x, y in zip(a.returns, b.returns):
+        if not np.array_equal(np.asarray(x), np.asarray(y)):
+            return False
+    if len(a.trace.supersteps) != len(b.trace.supersteps):
+        return False
+    for sa, sb in zip(a.trace.supersteps, b.trace.supersteps):
+        if (sa.label != sb.label or sa.measured_us != sb.measured_us
+                or sa.work != sb.work):
+            return False
+    return True
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "ir"
+        for mname, cls in sorted(MACHINES.items()):
+            for aname, case in CASES:
+                tag = f"{mname}/{aname}"
+                oracle = case(cls(seed=1), "generator")
+
+                with ir_store_scope(IRStore(root)) as store:
+                    recorded = case(cls(seed=1), "ir")
+                    assert store.recorded == 1, tag
+
+                blobs = [p for p in root.rglob("*.irp")]
+                if len(blobs) != 1:
+                    print(f"FAIL {tag}: expected 1 blob, found {len(blobs)}")
+                    failures += 1
+                    continue
+                raw = blobs[0].read_bytes()
+                again = _encode_blob(
+                    StepProgram.from_doc(_decode_blob(raw)).to_doc())
+                if again != raw:
+                    print(f"FAIL {tag}: reserialised blob differs "
+                          f"({len(again)} vs {len(raw)} bytes)")
+                    failures += 1
+
+                with ir_store_scope(IRStore(root)) as store:
+                    replayed = case(cls(seed=1), "ir")
+                    if store.disk_hits != 1:
+                        print(f"FAIL {tag}: blob not loaded from disk")
+                        failures += 1
+
+                for other, what in ((recorded, "record"),
+                                    (replayed, "disk replay")):
+                    if not identical(oracle, other):
+                        print(f"FAIL {tag}: {what} differs from generator")
+                        failures += 1
+
+                for p in blobs:
+                    p.unlink()
+                print(f"ok   {tag}  ({len(raw)} byte blob)")
+    if failures:
+        print(f"{failures} parity failure(s)")
+        return 1
+    print("ir-parity: all configurations bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from ..core.errors import ExperimentError
 from ..machines.base import Machine
 from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.lower import run_lowered
 from ..simulator.vector import VectorContext, resolve_engine
 
 __all__ = ["run", "apsp_program", "apsp_vector_program", "assemble",
@@ -344,7 +345,13 @@ def run(machine: Machine, N: int, *, P: int | None = None, seed: int = 0,
     rng = np.random.default_rng(seed)
     D = random_digraph(N, density, rng)
 
-    if resolve_engine(engine) == "vector":
+    eng = resolve_engine(engine)
+    if eng == "ir":
+        result = run_lowered(machine, apsp_vector_program, D, P=P,
+                             label=f"apsp-N{N}", algorithm="apsp",
+                             key_params={"N": N, "seed": seed,
+                                         "density": density})
+    elif eng == "vector":
         result = run_spmd_vector(machine, apsp_vector_program, D, P=P,
                                  label=f"apsp-N{N}")
     else:

@@ -33,6 +33,7 @@ from ..core.errors import ExperimentError
 from ..machines.base import Machine
 from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.lower import run_lowered
 from ..simulator.vector import VectorContext, resolve_engine
 from .local import merge_keep, radix_sort
 
@@ -223,7 +224,19 @@ def run(machine: Machine, M: int, *, variant: str = "bsp",
     rng = np.random.default_rng(seed)
     all_keys = rng.integers(0, 1 << key_bits, size=(P, M), dtype=np.uint64)
 
-    if resolve_engine(engine) == "vector":
+    eng = resolve_engine(engine)
+    if eng == "ir":
+        result = run_lowered(machine, bitonic_vector_program, all_keys,
+                             variant, sync_every=sync_every,
+                             key_bits=key_bits, group_words=group_words,
+                             P=P, label=f"bitonic-{variant}-M{M}",
+                             algorithm="bitonic",
+                             key_params={"M": M, "variant": variant,
+                                         "seed": seed,
+                                         "sync_every": sync_every,
+                                         "key_bits": key_bits,
+                                         "group_words": group_words})
+    elif eng == "vector":
         result = run_spmd_vector(machine, bitonic_vector_program, all_keys,
                                  variant, sync_every=sync_every,
                                  key_bits=key_bits, group_words=group_words,

@@ -47,6 +47,7 @@ from ..core.errors import ExperimentError
 from ..machines.base import Machine
 from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.lower import run_lowered
 from ..simulator.vector import VectorContext, resolve_engine
 
 __all__ = ["run", "lu_program", "lu_vector_program", "assemble",
@@ -268,7 +269,12 @@ def run(machine: Machine, N: int, *, P: int | None = None,
     rng = np.random.default_rng(seed)
     A = random_dd_matrix(N, rng)
 
-    if resolve_engine(engine) == "vector":
+    eng = resolve_engine(engine)
+    if eng == "ir":
+        result = run_lowered(machine, lu_vector_program, A, P=P,
+                             label=f"lu-N{N}", algorithm="lu",
+                             key_params={"N": N, "seed": seed})
+    elif eng == "vector":
         result = run_spmd_vector(machine, lu_vector_program, A, P=P,
                                  label=f"lu-N{N}")
     else:

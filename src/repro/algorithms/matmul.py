@@ -38,6 +38,7 @@ from ..core.predictions import cube_root_procs
 from ..machines.base import Machine
 from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.lower import run_lowered
 from ..simulator.vector import VectorContext, resolve_engine
 from .local import local_matmul
 
@@ -321,7 +322,14 @@ def run(machine: Machine, N: int, *, variant: str = "bsp-staggered",
     rng = np.random.default_rng(seed)
     A = rng.standard_normal((N, N))
     B = rng.standard_normal((N, N))
-    if resolve_engine(engine, vector_ok=variant in VARIANTS) == "vector":
+    eng = resolve_engine(engine, vector_ok=variant in VARIANTS)
+    if eng == "ir":
+        result = run_lowered(machine, matmul_vector_program, setup, A, B,
+                             variant, P=P, label=f"matmul-{variant}-N{N}",
+                             algorithm="matmul",
+                             key_params={"N": N, "variant": variant,
+                                         "seed": seed})
+    elif eng == "vector":
         result = run_spmd_vector(machine, matmul_vector_program, setup, A, B,
                                  variant, P=P, label=f"matmul-{variant}-N{N}")
     else:

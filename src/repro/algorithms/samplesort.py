@@ -39,6 +39,7 @@ from ..core.errors import ExperimentError
 from ..machines.base import Machine
 from ..simulator import RunResult, run_spmd, run_spmd_vector
 from ..simulator.context import ProcContext
+from ..simulator.lower import run_lowered
 from ..simulator.vector import VectorContext, resolve_engine
 from .bitonic import _radix_sort_rows, bitonic_program, bitonic_sort_vector
 from .local import classify_keys, radix_sort
@@ -339,7 +340,18 @@ def run(machine: Machine, M: int, *, variant: str = "bpram",
     rng = np.random.default_rng(seed)
     all_keys = rng.integers(0, 1 << key_bits, size=(P, M), dtype=np.uint64)
 
-    if resolve_engine(engine) == "vector":
+    eng = resolve_engine(engine)
+    if eng == "ir":
+        result = run_lowered(machine, sample_sort_vector_program,
+                             all_keys, variant, oversample,
+                             key_bits=key_bits, sample_seed=seed, P=P,
+                             label=f"samplesort-{variant}-M{M}",
+                             algorithm="samplesort",
+                             key_params={"M": M, "variant": variant,
+                                         "oversample": oversample,
+                                         "seed": seed,
+                                         "key_bits": key_bits})
+    elif eng == "vector":
         result = run_spmd_vector(machine, sample_sort_vector_program,
                                  all_keys, variant, oversample,
                                  key_bits=key_bits, sample_seed=seed, P=P,

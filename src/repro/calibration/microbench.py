@@ -134,10 +134,18 @@ def time_phase(machine: Machine, phase: CommPhase, *,
 
 
 def _sweep(machine, make_phase, xs, trials, rng, name, **kw) -> TimingSeries:
+    # One batched pricer for the whole sweep: the pattern analysis is
+    # hoisted across all xs*trials phases, while phase construction and
+    # machine-noise draws happen in the exact scalar order (the two RNG
+    # streams are separate, and CommPricer advances consume machine.rng
+    # bit-identically to per-phase machine.comm_time calls).
+    phases = [make_phase(int(x), rng) for x in xs for _ in range(trials)]
+    pricer = machine.comm_time_batch(phases)
+    flat = [float(pricer.comm_time(i, np.zeros(machine.P), **kw).max())
+            for i in range(len(phases))]
     means, los, his = [], [], []
-    for x in xs:
-        times = [time_phase(machine, make_phase(int(x), rng), **kw)
-                 for _ in range(trials)]
+    for k in range(len(xs)):
+        times = flat[k * trials:(k + 1) * trials]
         means.append(np.mean(times))
         los.append(np.min(times))
         his.append(np.max(times))

@@ -36,6 +36,7 @@ from . import __version__
 from .calibration import calibrate_all, render_table1
 from .experiments import all_experiments
 from .machines import machine_catalog
+from .simulator.vector import ENGINES, engine_scope
 from .validation.textfig import render_result
 
 __all__ = ["main", "build_parser"]
@@ -138,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministic fault-injection plan, e.g. "
                           "'worker-crash:p=0.2,seed=7' (default: "
                           "$REPRO_FAULTS; see docs/TESTING.md)")
+    run.add_argument("--engine", choices=ENGINES, default=None,
+                     help="simulation engine (default: $REPRO_ENGINE or "
+                          "'auto'; see docs/DESIGN.md)")
 
     bench = sub.add_parser(
         "bench",
@@ -234,6 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline on /predict and "
                             "/compare; past it the client gets 503 + "
                             "Retry-After (default 30 s)")
+    serve.add_argument("--engine", choices=ENGINES, default="auto",
+                       help="simulation engine for experiment evaluation "
+                            "(default auto)")
 
     lt = sub.add_parser(
         "loadtest",
@@ -296,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--faults", default=None, metavar="PLAN",
                     help="fault plan for the run (also honours "
                          "$REPRO_FAULTS)")
+    ab.add_argument("--engine", choices=ENGINES, default="auto",
+                    help="simulation engine for cell evaluation "
+                         "(default auto)")
 
     at = sub.add_parser(
         "attribute",
@@ -329,7 +339,8 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
              use_cache: bool = True, force: bool = False,
              cache_dir: str | None = None, profile: bool = False,
              timing_summary: bool = False,
-             faults: str | None = None) -> int:
+             faults: str | None = None,
+             engine: str | None = None) -> int:
     from .core.errors import ExperimentError, FaultError
     from .faults import FaultPlan, plan_from_env
     from .runner import ResultCache, run_experiments
@@ -345,11 +356,11 @@ def _cmd_run(ids: list[str], scale: float, seed: int, plot: bool,
         plan = FaultPlan.parse(faults) if faults else plan_from_env()
         if profile:
             outcomes = _run_profiled(ids, scale=scale, seed=seed,
-                                     cache_dir=cache_dir)
+                                     cache_dir=cache_dir, engine=engine)
         else:
             outcomes = run_experiments(ids, scale=scale, seed=seed,
                                        jobs=jobs, cache=cache, force=force,
-                                       faults=plan)
+                                       faults=plan, engine=engine)
     except (ExperimentError, FaultError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -391,23 +402,26 @@ def _timing_summary(outcomes, top: int = 5) -> str:
 
 
 def _run_profiled(ids: list[str], *, scale: float, seed: int,
-                  cache_dir: str | None):
+                  cache_dir: str | None, engine: str | None = None):
     """``repro run --profile``: in-process, cProfile dump per experiment."""
     import time
 
     from .runner import (RunOutcome, default_cache_root, profiled_run,
-                         resolve_ids)
+                         render_ir_phases, resolve_ids)
 
     profile_dir = os.path.join(str(cache_dir or default_cache_root()),
                                "profiles")
     outcomes = []
-    for exp_id in resolve_ids(ids):
-        t0 = time.perf_counter()
-        result, path = profiled_run(exp_id, scale=scale, seed=seed,
-                                    profile_dir=profile_dir)
-        outcomes.append(RunOutcome(id=exp_id, result=result, cached=False,
-                                   elapsed_s=time.perf_counter() - t0))
-        print(f"profile: {path}", file=sys.stderr)
+    with engine_scope(engine):
+        for exp_id in resolve_ids(ids):
+            t0 = time.perf_counter()
+            result, path = profiled_run(exp_id, scale=scale, seed=seed,
+                                        profile_dir=profile_dir)
+            outcomes.append(RunOutcome(id=exp_id, result=result,
+                                       cached=False,
+                                       elapsed_s=time.perf_counter() - t0))
+            print(f"profile: {path}", file=sys.stderr)
+            print(render_ir_phases(path), file=sys.stderr)
     return outcomes
 
 
@@ -468,8 +482,12 @@ def _cmd_cache(action: str, cache_dir: str | None,
 
     cache = ResultCache(cache_dir)
     if action == "clear":
+        from .simulator.ir import IRStore
+
         removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
+        programs = IRStore(cache.root / "ir").clear()
+        print(f"removed {removed} cached result(s) and {programs} step "
+              f"program(s) from {cache.root}")
         return 0
     entries = cache.entries()
     if as_json:
@@ -516,7 +534,7 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
             cells=tuple(args.cells) if args.cells else None,
             scale=args.scale, seed=args.seed, jobs=args.jobs,
             cache_dir=args.cache_dir, use_cache=not args.no_cache,
-            force=args.force)
+            force=args.force, engine=args.engine)
         report = ablate(req, faults=plan)
     except (AblationError, FaultError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -614,7 +632,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         processes=args.processes,
         arena_slots=args.arena_slots,
-        arena_slot_bytes=args.arena_slot_kb * 1024))
+        arena_slot_bytes=args.arena_slot_kb * 1024,
+        engine=args.engine))
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -662,7 +681,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                         args.json, jobs=args.jobs,
                         use_cache=not args.no_cache, force=args.force,
                         cache_dir=args.cache_dir, profile=args.profile,
-                        timing_summary=args.run_all, faults=args.faults)
+                        timing_summary=args.run_all, faults=args.faults,
+                        engine=args.engine)
     if args.command == "bench":
         return _cmd_bench(args.ids, quick=args.quick, scale=args.scale,
                           seed=args.seed, out=args.out, label=args.label,

@@ -76,6 +76,22 @@ class CommPricer:
                   barrier: bool = True) -> np.ndarray:
         return self.machine.comm_time(self.phases[i], clocks, barrier=barrier)
 
+    def sequence_costs(self) -> "np.ndarray | None":
+        """All per-phase costs in one fused draw, or ``None``.
+
+        A pricer may return an array with entry ``i`` equal to the
+        (noise-jittered) scalar cost its ``comm_time(i, ...)`` call would
+        have added to the clocks' running maximum — computed for the
+        *whole* sequence with vectorised noise draws that consume the
+        machine RNG bit-identically to the per-phase calls.  Returning a
+        non-``None`` array consumes that stream: the caller must then
+        advance the clocks itself (the IR replay engine's fused scan)
+        instead of calling :meth:`comm_time`.  Only sound for machines
+        whose ``comm_time`` has the base bulk-synchronous shape (cost
+        added to ``max(clocks)``); the default is no fused path.
+        """
+        return None
+
 
 class Machine(ABC):
     """Base class for simulated parallel machines."""

@@ -40,6 +40,7 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.params import ModelParams, UnbalancedCost, paper_params
 from ..core.relations import CommPhase
+from ..core.segsum import segment_sums
 from .base import CommPricer, Machine, unique_phases
 
 __all__ = ["MasParMP1"]
@@ -234,8 +235,20 @@ class _MasParCommPricer(CommPricer):
 
     def __init__(self, machine: MasParMP1, phases: list[CommPhase]):
         super().__init__(machine, phases)
-        uniq, self._idx = unique_phases(phases)
-        self._plans: list = [None] * len(uniq)
+        uniq, idx = unique_phases(phases)
+        self._idx = np.asarray(idx, dtype=np.int64)
+        n_uniq = len(uniq)
+        # Columnar plan state: per unique phase a verdict code (0 empty,
+        # 1 fast, 2 scalar) plus the [lo, hi) span of its sub-steps in
+        # the schedule-ordered (reps, det, sigma) columns.  Per-phase
+        # python plan lists are materialised lazily for the scalar
+        # comm_time path only — the fused sequence_costs path reads the
+        # columns directly and never builds them.
+        self._code = np.zeros(n_uniq, dtype=np.int64)
+        self._lo = np.zeros(n_uniq, dtype=np.int64)
+        self._hi = np.zeros(n_uniq, dtype=np.int64)
+        self._sub: tuple | None = None
+        self._plans: list = [None] * n_uniq
         self._prep(uniq)
 
     def _prep(self, uniq: list[CommPhase]) -> None:
@@ -244,7 +257,6 @@ class _MasParCommPricer(CommPricer):
         srcs, dsts, counts, sizes, steps, pids = [], [], [], [], [], []
         for i, ph in enumerate(uniq):
             if ph.is_empty:
-                self._plans[i] = ("empty",)
                 continue
             srcs.append(ph.src)
             dsts.append(ph.dst)
@@ -344,25 +356,69 @@ class _MasParCommPricer(CommPricer):
         sigma = np.where(block, m.noise / 4, m.noise)
         reps = np.maximum.reduceat(c, starts)  # uniform on the fast path
 
-        # Assemble per-phase plans: a phase is fast only if every one of
-        # its sub-steps is (whole-phase scalar fallback keeps the RNG
-        # draw order trivially correct).
+        # Per-phase verdicts: a phase is fast only if every one of its
+        # sub-steps is (whole-phase scalar fallback keeps the RNG draw
+        # order trivially correct).
         phase_bounds = np.nonzero(
             np.concatenate(([True], np.diff(seg_pid) != 0)))[0]
         phase_fast = np.logical_and.reduceat(fast, phase_bounds)
         phase_ends = np.concatenate((phase_bounds[1:], [nseg]))
-        reps_l = reps.tolist()
-        det_l = det.tolist()
-        sigma_l = sigma.tolist()
-        for pi, lo, hi, ok in zip(seg_pid[phase_bounds].tolist(),
-                                  phase_bounds.tolist(), phase_ends.tolist(),
-                                  phase_fast.tolist()):
-            if ok:
-                self._plans[pi] = ("fast", list(zip(reps_l[lo:hi],
-                                                    det_l[lo:hi],
-                                                    sigma_l[lo:hi])))
+        pis = seg_pid[phase_bounds]
+        self._code[pis] = np.where(phase_fast, 1, 2)
+        self._lo[pis] = phase_bounds
+        self._hi[pis] = phase_ends
+        self._sub = (reps.astype(np.float64), det, sigma)
+
+    def _plan(self, u: int):
+        """Materialise the python plan list for unique phase ``u``."""
+        plan = self._plans[u]
+        if plan is None:
+            code = int(self._code[u])
+            if code == 0:
+                plan = ("empty",)
+            elif code == 2:
+                plan = ("scalar",)
             else:
-                self._plans[pi] = ("scalar",)
+                lo, hi = int(self._lo[u]), int(self._hi[u])
+                reps, det, sigma = self._sub
+                plan = ("fast", list(zip(reps[lo:hi].tolist(),
+                                         det[lo:hi].tolist(),
+                                         sigma[lo:hi].tolist())))
+            self._plans[u] = plan
+        return plan
+
+    def sequence_costs(self):
+        """Whole-run phase costs in one vectorised noise draw.
+
+        Available exactly when every non-empty phase has a fast plan: the
+        scalar ``comm_time`` loop then reduces to ``cost_i = sum_k
+        reps_k * (det_k * (1 + z_k))`` over phase ``i``'s sub-steps, with
+        one noise draw per sub-step in schedule order.  Drawing all the
+        ``z_k`` as a single ``rng.normal(0, sigma_vector)`` call consumes
+        the RNG stream bit-identically to the sequential scalar draws,
+        and :func:`segment_sums` keeps each phase's accumulation
+        left-to-right.  Any scalar-fallback plan returns ``None`` before
+        touching the RNG.
+        """
+        u = self._idx
+        n = u.size
+        if np.any(self._code[u] == 2):
+            return None
+        L = (self._hi - self._lo)[u]  # empty phases have lo == hi == 0
+        ends = np.cumsum(L)
+        total = int(ends[-1]) if n else 0
+        if total == 0:
+            return np.zeros(n)
+        # Ragged gather of each phase's sub-step rows in schedule order.
+        pos = np.arange(total)
+        seg_of = np.searchsorted(ends, pos, side="right")
+        offs = pos - (ends - L)[seg_of]
+        ridx = self._lo[u][seg_of] + offs
+        reps, det, sigma = self._sub
+        z = self.machine.rng.normal(0.0, sigma[ridx])
+        terms = reps[ridx] * (det[ridx] * (1.0 + z))
+        starts = np.concatenate(([0], ends[:-1]))
+        return segment_sums(terms, starts, L)
 
     def comm_time(self, i: int, clocks: np.ndarray, *,
                   barrier: bool = True) -> np.ndarray:
@@ -371,8 +427,8 @@ class _MasParCommPricer(CommPricer):
         if clocks.shape != (phase.P,):
             raise SimulationError("clock array does not match phase P")
         total = float(clocks.max())
-        plan = self._plans[self._idx[i]]
-        if plan is None or plan[0] == "scalar":
+        plan = self._plan(int(self._idx[i]))
+        if plan[0] == "scalar":
             if not phase.is_empty:
                 total += m.phase_cost(phase)
         elif plan[0] == "fast":

@@ -14,7 +14,8 @@ from .bench import (
 from .cache import CacheStats, ResultCache, default_cache_root
 from .fingerprint import clear_fingerprint_memo, experiment_key, source_fingerprint
 from .pool import RunOutcome, resolve_ids, run_experiments
-from .profile import profile_path, profiled_run, render_profile
+from .profile import (profile_path, profiled_run, render_ir_phases,
+                      render_profile)
 
 __all__ = [
     "BenchRecord",
@@ -37,5 +38,6 @@ __all__ = [
     "run_experiments",
     "profile_path",
     "profiled_run",
+    "render_ir_phases",
     "render_profile",
 ]

@@ -15,7 +15,8 @@ from pathlib import Path
 
 from ..validation.series import ExperimentResult
 
-__all__ = ["profile_path", "profiled_run", "render_profile"]
+__all__ = ["profile_path", "profiled_run", "render_profile",
+           "render_ir_phases"]
 
 
 def profile_path(profile_dir: str | Path, exp_id: str, *, scale: float,
@@ -48,4 +49,32 @@ def render_profile(path: str | Path, *, top: int = 12) -> str:
     buf = io.StringIO()
     stats = pstats.Stats(str(path), stream=buf)
     stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+#: IR engine phase attribution: (section title, filename regex restricting
+#: the profile to that phase's module).
+_IR_SECTIONS = (
+    ("ir record (pass-1 execution + interning)", r"simulator[/\\]lower\.py"),
+    ("ir replay (pricing)", r"simulator[/\\]replay\.py"),
+)
+
+
+def render_ir_phases(path: str | Path, *, top: int = 6) -> str:
+    """Record-vs-replay attribution of an ``engine="ir"`` profile.
+
+    Two cProfile sections restricted to the lowering and replay modules:
+    the ``cumtime`` of ``run_lowered`` (record side: pass-1 program
+    execution, interning, store traffic, data passes) and of ``replay``
+    (pricing).  Regressions then point at a phase, not just a total.
+    Empty sections simply mean the experiment never took the IR path.
+    """
+    import io
+
+    buf = io.StringIO()
+    stats = pstats.Stats(str(path), stream=buf)
+    stats.sort_stats("cumulative")
+    for title, pattern in _IR_SECTIONS:
+        buf.write(f"--- {title} ---\n")
+        stats.print_stats(pattern, top)
     return buf.getvalue()

@@ -73,15 +73,29 @@ class ServiceConfig:
     #: before a half-open probe.
     breaker_threshold: int = 5
     breaker_reset_s: float = 30.0
+    #: simulation engine pinned for all evaluation in this process (and
+    #: fleet workers, which re-read it from their own config copy);
+    #: ``"auto"`` keeps the ambient default.
+    engine: str = "auto"
 
 
 class ServiceApp:
     """Shared handler state (what :mod:`.router` handlers see as ``app``)."""
 
     def __init__(self, config: ServiceConfig, *, arena=None, board=None):
+        from ..simulator.vector import ENGINES
+
         self.config = config
         self.arena = arena
         self.board = board
+        if config.engine not in ENGINES:
+            raise ValueError(f"unknown engine {config.engine!r}; "
+                             f"expected one of {ENGINES}")
+        if config.engine != "auto":
+            # process-wide pin: evaluation paths resolve engine="auto"
+            # through $REPRO_ENGINE (fleet workers get their own copy of
+            # the config and re-pin in their own process)
+            os.environ["REPRO_ENGINE"] = config.engine
         self.metrics = ServiceMetrics(version=__version__)
         self._injector = None
         if config.faults:

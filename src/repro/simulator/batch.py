@@ -28,7 +28,8 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.work import WORK_FIELDS, Work
 
-__all__ = ["WorkBatch", "charge_work_dict", "charge_batches"]
+__all__ = ["WorkBatch", "charge_work_dict", "charge_batches",
+           "flat_rank_order", "price_batches", "materialize_work"]
 
 
 class WorkBatch:
@@ -125,6 +126,68 @@ def charge_work_dict(machine, work: dict[int, list[Work]],
     _accumulate(clocks, ranks, times)
 
 
+def flat_rank_order(batches: Sequence[WorkBatch],
+                    ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Flatten non-empty batches into the generator path's item order.
+
+    Returns ``(ranks, order)``: ``ranks`` is the rank-major rank of each
+    flat item, ``order`` the stable argsort that produced it (``None``
+    when the concatenation was already rank-major, so gathers can be
+    skipped).
+    """
+    flat = np.concatenate([b.ranks for b in batches])
+    if bool((np.diff(flat) >= 0).all()):
+        return flat, None  # already rank-major: skip the sort and gathers
+    order = np.argsort(flat, kind="stable")
+    return flat[order], order
+
+
+def price_batches(machine, batches: Sequence[WorkBatch]) -> np.ndarray:
+    """Deterministic per-item prices in flat (batch emission) order."""
+    base = np.empty(sum(len(b) for b in batches))
+    pos = 0
+    for b in batches:
+        prices = machine.compute_time_batch(b.kind, b.params, b.ranks)
+        if prices is None:
+            prices = np.array([
+                machine.compute_time_base(
+                    b.kind(*(b.params[f][i] for f in b.params)), int(r))
+                for i, r in enumerate(b.ranks)])
+        base[pos:pos + len(b)] = prices
+        pos += len(b)
+    return base
+
+
+def materialize_work(batches: Sequence[WorkBatch], rank_seq: list[int],
+                     order: np.ndarray | None) -> dict[int, list[Work]]:
+    """Materialise the trace's ``{rank: [Work, ...]}`` dict for batches.
+
+    The dict is built in rank order with each rank's items in emission
+    order — what the generator engine would have recorded.  Work items
+    are frozen and compared by value, so a batch with uniform parameters
+    (0-stride broadcast columns) shares one instance across its items.
+    ``rank_seq``/``order`` come from :func:`flat_rank_order`
+    (``rank_seq = ranks.tolist()``).
+    """
+    work: dict[int, list[Work]] = {}
+    flat_objs: list[Work] = []
+    for b in batches:
+        cols = [b.params[f] for f in b.params]
+        if all(not any(c.strides) for c in cols):
+            one = b.kind(*(c.flat[0].item() for c in cols))
+            flat_objs.extend([one] * len(b))
+        else:
+            flat_objs.extend(
+                b.kind(*args) for args in zip(*(c.tolist() for c in cols)))
+    if order is None:
+        for j, obj in enumerate(flat_objs):
+            work.setdefault(rank_seq[j], []).append(obj)
+    else:
+        for j, flat_i in enumerate(order.tolist()):
+            work.setdefault(rank_seq[j], []).append(flat_objs[flat_i])
+    return work
+
+
 def charge_batches(machine, batches: Sequence[WorkBatch],
                    clocks: np.ndarray) -> dict[int, list[Work]]:
     """Charge a vector superstep's work batches; return the trace dict.
@@ -138,50 +201,11 @@ def charge_batches(machine, batches: Sequence[WorkBatch],
     batches = [b for b in batches if len(b)]
     if not batches:
         return {}
-    flat = np.concatenate([b.ranks for b in batches])
-    if bool((np.diff(flat) >= 0).all()):
-        order = None  # already rank-major: skip the sort and gathers
-        ranks = flat
-    else:
-        order = np.argsort(flat, kind="stable")
-        ranks = flat[order]
-    base = np.empty(flat.size)
-    pos = 0
-    for b in batches:
-        prices = machine.compute_time_batch(b.kind, b.params, b.ranks)
-        if prices is None:
-            prices = np.array([
-                machine.compute_time_base(
-                    b.kind(*(b.params[f][i] for f in b.params)), int(r))
-                for i, r in enumerate(b.ranks)])
-        base[pos:pos + len(b)] = prices
-        pos += len(b)
+    ranks, order = flat_rank_order(batches)
+    base = price_batches(machine, batches)
     times = base if order is None else base[order]
     if machine.compute_noise:
         times = times * (1.0 + machine.rng.normal(
             0.0, machine.compute_noise, size=times.size))
     _accumulate(clocks, ranks, times)
-
-    # materialise Work objects for the trace (dict in rank order, items
-    # in emission order — what the generator engine would have recorded).
-    # Work items are frozen and compared by value, so a batch with
-    # uniform parameters (0-stride broadcast columns) shares one instance
-    # across all its items.
-    work: dict[int, list[Work]] = {}
-    flat_objs: list[Work] = []
-    for b in batches:
-        cols = [b.params[f] for f in b.params]
-        if all(not any(c.strides) for c in cols):
-            one = b.kind(*(c.flat[0].item() for c in cols))
-            flat_objs.extend([one] * len(b))
-        else:
-            flat_objs.extend(
-                b.kind(*args) for args in zip(*(c.tolist() for c in cols)))
-    rank_seq = ranks.tolist()
-    if order is None:
-        for j, obj in enumerate(flat_objs):
-            work.setdefault(rank_seq[j], []).append(obj)
-    else:
-        for j, flat_i in enumerate(order.tolist()):
-            work.setdefault(rank_seq[j], []).append(flat_objs[flat_i])
-    return work
+    return materialize_work(batches, ranks.tolist(), order)

@@ -1,0 +1,156 @@
+"""Price a recorded :class:`~repro.simulator.ir.StepProgram` on a machine.
+
+Replay is the "price-many" half of the IR engine: no generator ever
+resumes, no ``put_group``/``charge_batch`` bookkeeping re-runs.  The
+machine-independent prep (rank-major item order, trace work dicts) is
+cached on the program; per replay only the machine-dependent pieces are
+computed — one deterministic pricing pass per *distinct* batchlist, one
+batched comm pricer for the phase sequence — and the per-superstep loop
+reduces to RNG-ordered noise application plus clock advancement.
+
+Two paths, both bit-identical to the generator and vector engines:
+
+* **fused** — for lockstep SIMD machines with deterministic compute and
+  base bulk-synchronous ``comm_time`` semantics (the MasPar), clocks are
+  provably uniform after every superstep, so the whole run collapses to
+  a scalar scan ``T = (T + wmax_i) + cost_i`` over Python floats.  The
+  per-phase costs come from one vectorised
+  :meth:`~repro.machines.base.CommPricer.sequence_costs` draw; the
+  work maxima are exact because ``fl`` is monotone (``max_r fl(T + w_r)
+  = fl(T + max_r w_r)`` for ``w_r >= 0``).  Zero per-superstep numpy
+  calls, zero array traffic.
+* **generic** — everything else (MIMD noise, drift machines, scalar
+  pricing fallbacks): a per-step loop that consumes the machine RNG in
+  exactly the order the vector engine's pricing pass would (work noise,
+  then phase noise, per superstep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.trace import Superstep, Trace
+from ..machines.base import Machine
+from .batch import _accumulate, price_batches
+from .ir import StepProgram
+from .result import RunResult
+
+__all__ = ["replay"]
+
+
+class _Priced:
+    """Machine-dependent pricing state of one distinct batchlist."""
+
+    __slots__ = ("ranks", "work", "base", "wmax")
+
+    def __init__(self, ranks, work, base):
+        self.ranks = ranks
+        self.work = work
+        self.base = base      # deterministic prices, rank-major order
+        self.wmax = 0.0       # max per-rank total (fused path only)
+
+
+def _fused_ok(machine) -> bool:
+    # The scalar scan assumes: clocks uniform after every superstep
+    # (lockstep SIMD via the *base* ``_advance``: everyone lands on
+    # ``total``, barriers free), cost added to ``max(clocks)`` (base
+    # ``comm_time``), and deterministic work prices (no compute noise).
+    return (machine.simd
+            and not machine.compute_noise
+            and type(machine).comm_time is Machine.comm_time
+            and type(machine)._advance is Machine._advance)
+
+
+def replay(machine, prog: StepProgram, *, label: str = "") -> RunResult:
+    """Re-price ``prog`` on ``machine``; bit-identical to re-running it."""
+    P = prog.P
+    if not 0 < P <= machine.P:
+        raise SimulationError(
+            f"program recorded for P={P} exceeds machine P={machine.P}")
+    if prog.word_bytes != machine.nominal.w or prog.simd != machine.simd:
+        raise SimulationError(
+            "step program was recorded for a different machine shape "
+            f"(word_bytes={prog.word_bytes}, simd={prog.simd}); record one "
+            "per machine shape")
+
+    phases = [prog.phases[j] for j in prog.phase_idx]
+    pricer = machine.comm_time_batch(phases)
+
+    priced: list[_Priced] = []
+    for j, batches in enumerate(prog.batchlists):
+        ranks, order, work = prog.prep(j)
+        base = price_batches(machine, batches)
+        if order is not None:
+            base = base[order]
+        priced.append(_Priced(ranks, work, base))
+
+    if _fused_ok(machine):
+        costs = pricer.sequence_costs()
+        if costs is not None:
+            return _replay_fused(prog, phases, costs, priced, label)
+    return _replay_generic(machine, prog, phases, pricer, priced, label)
+
+
+def _replay_fused(prog: StepProgram, phases, costs: np.ndarray,
+                  priced: list[_Priced], label: str) -> RunResult:
+    P = prog.P
+    for pb in priced:
+        w = np.zeros(P)
+        _accumulate(w, pb.ranks, pb.base)
+        pb.wmax = float(w.max())
+    trace = Trace(P=P, label=label)
+    append = trace.append
+    batch_idx = prog.batch_idx
+    labels = prog.labels
+    cost_list = costs.tolist()
+    T = 0.0
+    for i in range(prog.n_steps):
+        j = batch_idx[i]
+        if j >= 0:
+            t1 = T + priced[j].wmax
+            work = priced[j].work
+        else:
+            t1 = T
+            work = {}
+        t2 = t1 + cost_list[i]
+        append(Superstep(phase=phases[i], work=work, label=labels[i],
+                         measured_us=t2 - T))
+        T = t2
+    return RunResult(time_us=T, clocks=np.full(P, T), trace=trace,
+                     returns=prog.returns)
+
+
+def _replay_generic(machine, prog: StepProgram, phases, pricer,
+                    priced: list[_Priced], label: str) -> RunResult:
+    P = prog.P
+    clocks = np.zeros(P)
+    trace = Trace(P=P, label=label)
+    append = trace.append
+    batch_idx = prog.batch_idx
+    barriers = prog.barriers
+    labels = prog.labels
+    noise = machine.compute_noise
+    rng = machine.rng
+    for i in range(prog.n_steps):
+        start_max = float(clocks.max())
+        j = batch_idx[i]
+        if j >= 0:
+            pb = priced[j]
+            times = pb.base
+            if noise:
+                times = times * (1.0 + rng.normal(0.0, noise,
+                                                  size=times.size))
+            _accumulate(clocks, pb.ranks, times)
+            work = pb.work
+        else:
+            work = {}
+        clocks = pricer.comm_time(i, clocks, barrier=barriers[i])
+        if clocks.shape != (P,):
+            raise SimulationError(
+                f"machine {machine.name} returned clocks of shape "
+                f"{clocks.shape}, expected ({P},)")
+        append(Superstep(phase=phases[i], work=work, label=labels[i],
+                         measured_us=float(clocks.max()) - start_max))
+    return RunResult(time_us=float(clocks.max()), clocks=clocks, trace=trace,
+                     returns=prog.returns)

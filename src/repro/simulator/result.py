@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -12,7 +11,6 @@ from ..core.trace import Trace
 __all__ = ["RunResult"]
 
 
-@dataclass
 class RunResult:
     """What :func:`repro.simulator.run_spmd` returns.
 
@@ -21,12 +19,31 @@ class RunResult:
     ``returns`` the per-processor return values of the SPMD program
     (used for end-to-end correctness checks); ``trace`` the superstep
     trace that cost models can re-price.
+
+    ``returns`` may be constructed from a zero-argument callable: it is
+    then materialised on first access.  The IR engine uses this so a
+    replay from an on-disk step program only pays the (pricing-free)
+    data-reconstruction pass when someone actually reads the returns —
+    most experiments never do.  Program return values are per-rank data
+    lists, never bare callables, so the two cases cannot collide.
     """
 
-    time_us: float
-    clocks: np.ndarray
-    trace: Trace
-    returns: list[Any] = field(default_factory=list)
+    def __init__(self, time_us: float, clocks: np.ndarray, trace: Trace,
+                 returns: Any = None):
+        self.time_us = time_us
+        self.clocks = clocks
+        self.trace = trace
+        self._returns = [] if returns is None else returns
+
+    @property
+    def returns(self) -> list[Any]:
+        if callable(self._returns):
+            self._returns = self._returns()
+        return self._returns
+
+    @returns.setter
+    def returns(self, value: Any) -> None:
+        self._returns = value
 
     @property
     def P(self) -> int:

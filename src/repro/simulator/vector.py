@@ -32,6 +32,8 @@ partial sums rather than ``np.sum`` along an axis).
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 import numpy as np
@@ -44,27 +46,75 @@ from .batch import WorkBatch, charge_batches
 from .commands import SyncToken
 from .result import RunResult
 
-__all__ = ["VectorContext", "run_spmd_vector", "resolve_engine"]
+__all__ = ["VectorContext", "run_spmd_vector", "resolve_engine",
+           "collect_steps", "ENGINES", "engine_scope"]
 
-ENGINES = ("auto", "generator", "vector")
+#: every ``engine=`` argument and ``--engine`` flag accepts exactly these.
+ENGINES = ("auto", "generator", "vector", "ir")
+
+
+def default_engine() -> str:
+    """The engine ``"auto"`` resolves to: ``$REPRO_ENGINE``, or ``"ir"``.
+
+    The environment variable is how the CLI / service / ablation layers
+    pin an engine process-wide (it survives into pool workers); an unset
+    or ``"auto"`` value picks the IR record/replay fast path.
+    """
+    env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if not env or env == "auto":
+        return "ir"
+    if env not in ENGINES:
+        raise SimulationError(
+            f"$REPRO_ENGINE={env!r} is not a known engine; "
+            f"expected one of {ENGINES}")
+    return env
 
 
 def resolve_engine(engine: str, *, vector_ok: bool = True) -> str:
     """Pick the engine for an ``engine=`` algorithm argument.
 
-    ``"auto"`` takes the vector fast path whenever the algorithm has a
-    vector port for the requested configuration (``vector_ok``);
-    requesting ``"vector"`` without one is an error.
+    ``"auto"`` resolves through :func:`default_engine` (``$REPRO_ENGINE``
+    or the IR record/replay engine) and silently degrades to the
+    generator when the algorithm has no vector port for the requested
+    configuration (``vector_ok``); requesting ``"vector"`` or ``"ir"``
+    explicitly without one is an error.
     """
     if engine not in ENGINES:
         raise SimulationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}")
     if engine == "auto":
-        return "vector" if vector_ok else "generator"
-    if engine == "vector" and not vector_ok:
+        engine = default_engine()
+        return engine if vector_ok or engine == "generator" else "generator"
+    if engine != "generator" and not vector_ok:
         raise SimulationError(
             "no vector port for this configuration; use engine='generator'")
     return engine
+
+
+@contextmanager
+def engine_scope(engine: str | None):
+    """Pin ``$REPRO_ENGINE`` for a block so ``engine="auto"`` resolves to
+    ``engine`` in this process *and* in workers forked inside the block.
+
+    ``None``/``"auto"`` leave the environment untouched; an unknown name
+    raises :class:`SimulationError` before anything runs.
+    """
+    if engine is None or engine == "auto":
+        yield
+        return
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    prior = os.environ.get("REPRO_ENGINE")
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = prior
+
 
 VectorProgram = Callable[..., Iterator[SyncToken]]
 
@@ -217,35 +267,20 @@ class VectorContext:
         return groups, batches
 
 
-def run_spmd_vector(machine, program: VectorProgram, *args: Any,
-                    P: int | None = None, label: str = "",
-                    max_supersteps: int = 1_000_000,
-                    **kwargs: Any) -> RunResult:
-    """Run a vector program on ``P`` virtual processors of ``machine``.
+def collect_steps(ctx: VectorContext, gen: Iterator[SyncToken], *,
+                  max_supersteps: int = 1_000_000,
+                  ) -> tuple[list[tuple[CommPhase, list[WorkBatch], bool, str]],
+                             list[Any] | None]:
+    """Pass 1 — drive a vector program to completion, collecting one
+    ``(phase, batches, barrier, label)`` record per superstep.
 
-    Drop-in replacement for :func:`run_spmd` given the vector port of a
-    per-rank program: same :class:`RunResult` (``returns`` is the list
-    the program returns, one entry per rank), bit-identical clocks and
-    trace.
+    SPMD programs never observe the clocks, and nothing here touches the
+    machine RNG, so execution is machine-independent: the same records
+    feed :func:`run_spmd_vector`'s in-line pricing pass and the IR
+    recorder (:mod:`repro.simulator.lower`).  Returns ``(steps,
+    returns)`` with ``returns`` the program's return value (unconverted).
     """
-    P = machine.P if P is None else P
-    if not 0 < P <= machine.P:
-        raise SimulationError(
-            f"requested P={P} processors on a {machine.P}-processor machine")
-
-    ctx = VectorContext(P, machine.nominal.w, simd=machine.simd)
-    gen = program(ctx, *args, **kwargs)
-    if not hasattr(gen, "__next__"):
-        raise SimulationError(
-            "vector program must be a generator function (got "
-            f"{type(gen).__name__}); did you forget a 'yield ctx.sync()'?")
-
-    # Pass 1 — run the whole program, collecting one (phase, batches,
-    # barrier, label) record per superstep.  SPMD programs never observe
-    # the clocks, and nothing here touches the machine RNG, so the
-    # execution order of passes is unobservable; deferring all pricing
-    # lets pass 2 hand the complete phase sequence to the machine's
-    # batched comm pricer at once.
+    P = ctx.P
     steps: list[tuple[CommPhase, list[WorkBatch], bool, str]] = []
     returns: list[Any] | None = None
     done = False
@@ -313,6 +348,33 @@ def run_spmd_vector(machine, program: VectorProgram, *args: Any,
         raise DeadlockError(
             f"vector program exceeded {max_supersteps} supersteps; "
             "suspected livelock")
+    return steps, returns
+
+
+def run_spmd_vector(machine, program: VectorProgram, *args: Any,
+                    P: int | None = None, label: str = "",
+                    max_supersteps: int = 1_000_000,
+                    **kwargs: Any) -> RunResult:
+    """Run a vector program on ``P`` virtual processors of ``machine``.
+
+    Drop-in replacement for :func:`run_spmd` given the vector port of a
+    per-rank program: same :class:`RunResult` (``returns`` is the list
+    the program returns, one entry per rank), bit-identical clocks and
+    trace.
+    """
+    P = machine.P if P is None else P
+    if not 0 < P <= machine.P:
+        raise SimulationError(
+            f"requested P={P} processors on a {machine.P}-processor machine")
+
+    ctx = VectorContext(P, machine.nominal.w, simd=machine.simd)
+    gen = program(ctx, *args, **kwargs)
+    if not hasattr(gen, "__next__"):
+        raise SimulationError(
+            "vector program must be a generator function (got "
+            f"{type(gen).__name__}); did you forget a 'yield ctx.sync()'?")
+
+    steps, returns = collect_steps(ctx, gen, max_supersteps=max_supersteps)
 
     # Pass 2 — price every superstep in order: work first, then the
     # phase, exactly as the interleaved scalar loop would, so the machine

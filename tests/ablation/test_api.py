@@ -51,6 +51,19 @@ class TestFromJson:
         with pytest.raises(AblationError, match="seed"):
             AblateRequest.from_json({"seed": seed})
 
+    @pytest.mark.parametrize("engine", ["turbo", 3, None, ["ir"]])
+    def test_bad_engine(self, engine):
+        with pytest.raises(AblationError, match="engine"):
+            AblateRequest.from_json({"engine": engine})
+
+    def test_engine_accepted_but_not_in_key(self):
+        # engines are observationally identical, so the cache key must
+        # not fracture on the execution knob
+        a = AblateRequest.from_json({"engine": "ir"})
+        b = AblateRequest.from_json({"engine": "generator"})
+        assert a.engine == "ir" and b.engine == "generator"
+        assert a.key == b.key
+
 
 class TestAblateEntry:
     def test_unknown_component_raises_before_any_run(self):

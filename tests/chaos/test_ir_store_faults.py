@@ -1,0 +1,91 @@
+"""Chaos tests for the step-program IR store's self-healing read path.
+
+Damaged ``.irp`` blobs (flipped bytes, truncation, stale checksums,
+garbage headers) must be detected by the checksum envelope, quarantined
+out of the way, and reported as misses — after which the caller's
+re-record heals the slot with a blob *byte-identical* to a never-faulted
+one (serialisation is canonical).  A poisoned store never changes what a
+run computes: replays after quarantine stay bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bitonic
+from repro.machines import CM5
+from repro.simulator.ir import IRStore, ir_store_scope
+
+pytestmark = pytest.mark.chaos
+
+
+def run_ir(seed=3):
+    return bitonic.run(CM5(seed=seed), 64, P=16, seed=1, engine="ir")
+
+
+def blob_paths(root):
+    return sorted(p for p in root.rglob("*.irp")
+                  if "quarantine" not in p.parts)
+
+
+def mangle(path, how):
+    raw = bytearray(path.read_bytes())
+    if how == "flip":
+        raw[len(raw) // 2] ^= 0xFF
+    elif how == "truncate":
+        raw = raw[:len(raw) // 2]
+    elif how == "no-header":
+        raw = raw.replace(b"repro-ir", b"not-an-ir", 1)
+    elif how == "empty":
+        raw = bytearray()
+    path.write_bytes(bytes(raw))
+
+
+class TestPoisonedBlobQuarantine:
+    @pytest.mark.parametrize("how", ["flip", "truncate", "no-header",
+                                     "empty"])
+    def test_damage_quarantined_and_rerecorded(self, tmp_path, how):
+        root = tmp_path / "ir"
+        with ir_store_scope(IRStore(root)) as store:
+            clean = run_ir()
+            assert store.recorded == 1
+        (path,) = blob_paths(root)
+        pristine = path.read_bytes()
+        mangle(path, how)
+
+        # fresh store (fresh process): the poisoned blob must be missed,
+        # moved aside, and the re-record must heal the slot
+        with ir_store_scope(IRStore(root)) as store:
+            healed = run_ir()
+            assert store.quarantined == 1
+            assert store.disk_hits == 0
+            assert store.recorded == 1
+        qdir = root / "quarantine"
+        assert len(list(qdir.iterdir())) == 1
+        (healed_path,) = blob_paths(root)
+        assert healed_path.read_bytes() == pristine
+
+        # the damage never reached the simulation
+        assert healed.time_us == clean.time_us
+        assert np.array_equal(healed.clocks, clean.clocks)
+
+    def test_clean_blob_read_back_not_quarantined(self, tmp_path):
+        root = tmp_path / "ir"
+        with ir_store_scope(IRStore(root)):
+            run_ir()
+        with ir_store_scope(IRStore(root)) as store:
+            run_ir()
+            assert store.disk_hits == 1
+            assert store.quarantined == 0
+        assert not (root / "quarantine").exists()
+
+    def test_unreadable_root_never_fails_a_run(self, tmp_path):
+        """Disk persistence is best-effort: a store rooted at a plain
+        file (mkdir/read both fail) still serves from memory."""
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        with ir_store_scope(IRStore(bogus)) as store:
+            a = run_ir()
+            b = run_ir()
+            assert store.recorded == 1
+            assert store.memory_hits == 1
+        assert a.time_us == b.time_us

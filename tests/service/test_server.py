@@ -35,6 +35,7 @@ class TestHealthAndCatalogues:
         assert status == 200
         assert "bsp" in doc["models"] and "e-bsp" in doc["models"]
         assert doc["algorithms"]["bitonic"]["default_size"] > 0
+        assert doc["engines"] == ["auto", "generator", "vector", "ir"]
 
     def test_experiments_index(self, service_thread):
         status, doc, _ = http(service_thread.port, "GET", "/experiments")

@@ -1,0 +1,283 @@
+"""Step-program IR engine: record-once / price-many, bit-identically.
+
+The IR engine's contract extends the vector engine's: for every
+algorithm with a vector port, ``engine="ir"`` must produce exactly the
+same clocks, trace and per-rank results as the generator engine — on
+the recording run, on memory hits, on disk hits (structure-only blobs
+whose returns regenerate lazily), and under any ``disable=`` ablation
+subset.  These tests enforce the full engine equivalence matrix, the
+store's record-once discipline, canonical (byte-identical) blob
+round-trips, and the key's staleness rules (schema version + algorithm
+source fingerprint).
+"""
+
+import importlib.util
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import apsp, bitonic, lu, matmul, samplesort
+from repro.machines import CM5, GCel, MasParMP1, T800Grid
+from repro.simulator.ir import (IR_SCHEMA, IRStore, StepProgram, _decode_blob,
+                                _encode_blob, build_program, ir_key,
+                                ir_store_scope)
+from repro.simulator.lower import (algorithm_fingerprint,
+                                   clear_algorithm_fingerprints, run_lowered)
+from repro.simulator.replay import replay
+from repro.simulator.result import RunResult
+
+MACHINES = {
+    "maspar": MasParMP1,
+    "gcel": GCel,
+    "cm5": CM5,
+    "t800": T800Grid,
+}
+
+# One representative configuration per algorithm, sized for test speed.
+CASES = {
+    "matmul": lambda m, e: matmul.run(m, 12, P=8, seed=3, engine=e),
+    "bitonic": lambda m, e: bitonic.run(m, 128, P=16, seed=5, engine=e),
+    "lu": lambda m, e: lu.run(m, 16, P=16, seed=7, engine=e),
+    "apsp": lambda m, e: apsp.run(m, 16, P=16, seed=11, engine=e),
+    "samplesort": lambda m, e: samplesort.run(m, 256, P=16, seed=13,
+                                              engine=e),
+}
+
+
+def run_engine(machine_name, algorithm, engine, *, seed=1, disable=()):
+    machine = MACHINES[machine_name](seed=seed, disable=disable)
+    return CASES[algorithm](machine, engine)
+
+
+def assert_runs_identical(g, v):
+    """Every observable of the two runs must match exactly."""
+    assert g.time_us == v.time_us
+    assert np.array_equal(g.clocks, v.clocks)
+    assert len(g.returns) == len(v.returns)
+    for a, b in zip(g.returns, v.returns):
+        assert np.array_equal(np.asarray(a), np.asarray(b))
+    assert len(g.trace.supersteps) == len(v.trace.supersteps)
+    for a, b in zip(g.trace.supersteps, v.trace.supersteps):
+        assert a.label == b.label
+        assert a.measured_us == b.measured_us
+        assert a.work == b.work
+        pa, pb = a.phase, b.phase
+        assert pa.stagger == pb.stagger
+        for field in ("src", "dst", "count", "msg_bytes", "step"):
+            assert np.array_equal(getattr(pa, field), getattr(pb, field)), \
+                f"phase field {field} differs in superstep {a.label!r}"
+
+
+class TestEngineEquivalenceMatrix:
+    """IR vs vector vs generator across every machine and algorithm."""
+
+    @pytest.mark.parametrize("machine", sorted(MACHINES))
+    @pytest.mark.parametrize("algorithm", sorted(CASES))
+    def test_three_engines_identical(self, machine, algorithm):
+        with ir_store_scope(IRStore()) as store:
+            g = run_engine(machine, algorithm, "generator")
+            v = run_engine(machine, algorithm, "vector")
+            i1 = run_engine(machine, algorithm, "ir")  # records
+            i2 = run_engine(machine, algorithm, "ir")  # memory hit
+            assert_runs_identical(g, v)
+            assert_runs_identical(g, i1)
+            assert_runs_identical(g, i2)
+            assert store.recorded == 1
+            assert store.memory_hits >= 1
+
+
+class TestRecordOncePriceMany:
+    def test_one_recording_serves_seeds_and_ablations(self):
+        """The sweep discipline: structure recorded once, priced per
+        (seed, disable) — each replay bit-identical to its generator."""
+        subsets = [(), ("endpoint-contention",),
+                   ("comm-staggering", "cache-effects")]
+        with ir_store_scope(IRStore()) as store:
+            for seed in (0, 9):
+                for disable in subsets:
+                    g = run_engine("cm5", "bitonic", "generator",
+                                   seed=seed, disable=disable)
+                    i = run_engine("cm5", "bitonic", "ir",
+                                   seed=seed, disable=disable)
+                    assert_runs_identical(g, i)
+            assert store.recorded == 1
+
+    def test_disk_hit_replays_identically_with_lazy_returns(self, tmp_path):
+        """A fresh process (new store) loads structure from disk; the
+        per-rank returns regenerate lazily and still match exactly."""
+        g = run_engine("gcel", "lu", "generator")
+        with ir_store_scope(IRStore(tmp_path)) as store:
+            run_engine("gcel", "lu", "ir")
+            assert store.recorded == 1
+        with ir_store_scope(IRStore(tmp_path)) as store2:
+            i = run_engine("gcel", "lu", "ir")
+            assert store2.disk_hits == 1
+            assert store2.recorded == 0
+            # reading .returns forces the data-only pass
+            assert_runs_identical(g, i)
+
+
+class TestLazyReturns:
+    def test_thunk_materialises_once(self):
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return [1, 2, 3]
+
+        r = RunResult(time_us=1.0, clocks=np.zeros(3), trace=None,
+                      returns=thunk)
+        assert r.returns == [1, 2, 3]
+        assert r.returns == [1, 2, 3]
+        assert len(calls) == 1
+
+    def test_plain_returns_untouched(self):
+        r = RunResult(time_us=1.0, clocks=np.zeros(2), trace=None,
+                      returns=[4, 5])
+        assert r.returns == [4, 5]
+
+
+class TestBlobRoundTrip:
+    def record(self, n, seed):
+        from repro.simulator.vector import VectorContext, collect_steps
+
+        machine = CM5(seed=0)
+        keys = np.random.default_rng(seed).integers(
+            0, 1 << 32, size=(16, n), dtype=np.uint64)
+        ctx = VectorContext(16, machine.nominal.w, simd=machine.simd)
+        gen = bitonic.bitonic_vector_program(ctx, keys, "bsp")
+        steps, returns = collect_steps(ctx, gen, max_supersteps=10_000)
+        return build_program(P=16, word_bytes=machine.nominal.w,
+                             simd=machine.simd, steps=steps, returns=returns)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.sampled_from([64, 128, 256]),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_serialise_replay_parity(self, n, seed):
+        prog = self.record(n, seed)
+        blob = _encode_blob(prog.to_doc())
+        back = StepProgram.from_doc(_decode_blob(blob))
+        a = replay(CM5(seed=42), prog, label="orig")
+        b = replay(CM5(seed=42), back, label="orig")
+        assert a.time_us == b.time_us
+        assert np.array_equal(a.clocks, b.clocks)
+        for sa, sb in zip(a.trace.supersteps, b.trace.supersteps):
+            assert sa.label == sb.label
+            assert sa.measured_us == sb.measured_us
+            assert sa.work == sb.work
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_reserialisation_is_byte_identical(self, seed):
+        """Canonical encoding: decode → re-encode reproduces the blob
+        exactly, so re-records after quarantine are byte-identical."""
+        prog = self.record(128, seed)
+        blob = _encode_blob(prog.to_doc())
+        again = _encode_blob(StepProgram.from_doc(_decode_blob(blob)).to_doc())
+        assert blob == again
+
+    def test_integer_dtypes_survive_narrowing(self):
+        """_pack's width narrowing must restore the original dtype."""
+        prog = self.record(64, 0)
+        back = StepProgram.from_doc(_decode_blob(_encode_blob(prog.to_doc())))
+        for ph, bh in zip(prog.phases, back.phases):
+            for f in ("src", "dst", "count", "msg_bytes", "step"):
+                a, b = getattr(ph, f), getattr(bh, f)
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+
+class TestKeying:
+    COMMON = dict(algorithm="x", fingerprint="f" * 64, P=16,
+                  word_bytes=4, simd=False, params={"n": 64, "seed": 0})
+
+    def test_deterministic(self):
+        assert ir_key(**self.COMMON) == ir_key(**self.COMMON)
+
+    @pytest.mark.parametrize("change", [
+        {"fingerprint": "e" * 64},
+        {"P": 32},
+        {"word_bytes": 8},
+        {"simd": True},
+        {"params": {"n": 64, "seed": 1}},
+        {"algorithm": "y"},
+    ])
+    def test_every_component_keys(self, change):
+        assert ir_key(**{**self.COMMON, **change}) != ir_key(**self.COMMON)
+
+    def test_schema_version_is_in_key(self, monkeypatch):
+        base = ir_key(**self.COMMON)
+        monkeypatch.setattr("repro.simulator.ir.IR_SCHEMA", IR_SCHEMA + 1)
+        assert ir_key(**self.COMMON) != base
+
+
+_PROG_TEMPLATE = """\
+import numpy as np
+
+
+def tiny_program(ctx):
+    ranks = ctx.ranks()
+    ctx.put_group(ranks, (ranks + 1) %% ctx.P, nbytes=ctx.word_bytes)
+    ctx.charge_flops(ranks, %d)
+    yield ctx.sync("ring")
+    return [int(r) for r in range(ctx.P)]
+"""
+
+
+def _load(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestFingerprintStaleness:
+    def test_editing_algorithm_body_misses_the_cache(self, tmp_path):
+        """The regression the fingerprint exists for: change an
+        algorithm's source and its recordings must not be reused."""
+        path = tmp_path / "tiny_alg.py"
+        path.write_text(_PROG_TEMPLATE % 100)
+        mod = _load(path, "tiny_alg_fp_test")
+        machine = CM5(seed=1)
+        kw = dict(algorithm="tiny", key_params={"n": 1}, P=8, label="tiny")
+        try:
+            with ir_store_scope(IRStore(tmp_path / "ir")) as store:
+                r1 = run_lowered(machine, mod.tiny_program, **kw)
+                assert store.recorded == 1
+                fp1 = algorithm_fingerprint(mod.tiny_program)
+
+                # edit the body: the charge changes, so replays of the
+                # old recording would be silently wrong
+                path.write_text(_PROG_TEMPLATE % 999)
+                clear_algorithm_fingerprints()
+                mod = _load(path, "tiny_alg_fp_test")
+                fp2 = algorithm_fingerprint(mod.tiny_program)
+                assert fp1 != fp2
+
+                r2 = run_lowered(CM5(seed=1), mod.tiny_program, **kw)
+                assert store.recorded == 2  # miss → fresh recording
+                assert r2.time_us > r1.time_us  # the edit took effect
+        finally:
+            sys.modules.pop("tiny_alg_fp_test", None)
+            clear_algorithm_fingerprints()
+
+    def test_unedited_source_hits(self, tmp_path):
+        path = tmp_path / "tiny_alg.py"
+        path.write_text(_PROG_TEMPLATE % 100)
+        mod = _load(path, "tiny_alg_fp_hit_test")
+        kw = dict(algorithm="tiny", key_params={"n": 1}, P=8, label="tiny")
+        try:
+            with ir_store_scope(IRStore(tmp_path / "ir")) as store:
+                run_lowered(CM5(seed=1), mod.tiny_program, **kw)
+                run_lowered(CM5(seed=1), mod.tiny_program, **kw)
+                assert store.recorded == 1
+                assert store.memory_hits == 1
+        finally:
+            sys.modules.pop("tiny_alg_fp_hit_test", None)
+            clear_algorithm_fingerprints()

@@ -245,13 +245,20 @@ class TestLuEquivalence:
 
 
 class TestResolveEngine:
-    def test_auto_prefers_vector(self):
-        assert resolve_engine("auto") == "vector"
+    def test_auto_prefers_ir(self):
+        assert resolve_engine("auto") == "ir"
         assert resolve_engine("auto", vector_ok=False) == "generator"
 
     def test_explicit(self):
         assert resolve_engine("generator") == "generator"
         assert resolve_engine("vector") == "vector"
+        assert resolve_engine("ir") == "ir"
+
+    def test_ir_requires_vector_port(self):
+        # Programs that opt out of the vector context can't be lowered
+        # either; explicit "ir" without a port errors like "vector".
+        with pytest.raises(SimulationError):
+            resolve_engine("ir", vector_ok=False)
 
     def test_unknown_engine(self):
         with pytest.raises(SimulationError, match="unknown engine"):

@@ -362,3 +362,40 @@ class TestFleetArguments:
     def test_bench_service_flag_parses(self):
         args = build_parser().parse_args(["bench", "--compare", "--service"])
         assert args.service is True and args.compare is True
+
+
+class TestEngineFlag:
+    @pytest.mark.parametrize("argv", [
+        ["run", "fig14", "--engine", "turbo"],
+        ["serve", "--engine", "turbo"],
+        ["ablate", "--engine", "turbo"],
+    ])
+    def test_unknown_engine_exits_2_listing_valid(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("auto", "generator", "vector", "ir"):
+            assert name in err
+
+    @pytest.mark.parametrize("engine", ["auto", "generator", "vector", "ir"])
+    def test_run_accepts_every_engine(self, engine, capsys):
+        code = main(["run", "fig14", "--scale", "0.3", "--no-plot",
+                     "--no-cache", "--engine", engine])
+        assert code == 0
+        assert "fig14" in capsys.readouterr().out
+
+    def test_engine_flag_defaults_to_ambient(self):
+        args = build_parser().parse_args(["run", "fig14"])
+        assert args.engine is None
+        args = build_parser().parse_args(["serve"])
+        assert args.engine == "auto"
+        args = build_parser().parse_args(["ablate"])
+        assert args.engine == "auto"
+
+    def test_cache_clear_reports_step_programs(self, capsys):
+        main(["run", "fig14", "--scale", "0.3", "--no-plot"])
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "step program(s)" in out
