@@ -20,6 +20,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.ablation import AblateRequest, ablate  # noqa: E402
+from repro.bounds import BoundsRequest, bounds  # noqa: E402
 from repro.experiments import get  # noqa: E402
 
 #: (experiment id, scale, seed) — a fast subset covering both machines,
@@ -33,6 +34,9 @@ GOLDEN = [
 
 #: (scale, seed) of the pinned full-matrix ablation ranking.
 ABLATION_GOLDEN = (0.3, 0)
+
+#: (scale, seed) of the pinned optimality (bounds) ranking.
+BOUNDS_GOLDEN = (0.3, 0)
 
 
 def main() -> int:
@@ -52,6 +56,15 @@ def main() -> int:
     path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     ranked = ", ".join(e["component"] for e in report["ranking"])
     print(f"wrote {path} (ranking: {ranked})")
+
+    scale, seed = BOUNDS_GOLDEN
+    report = bounds(BoundsRequest(scale=scale, seed=seed, use_cache=False))
+    doc = {"scale": scale, "seed": seed, "report": report}
+    path = out_dir / "bounds.json"
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    worst = report["ranking"][0]
+    print(f"wrote {path} (max ratio: {worst['ratio']:.2f}x on "
+          f"{worst['cell']}, {len(report['summary']['flagged'])} flagged)")
     return 0
 
 

@@ -1,0 +1,127 @@
+"""Analytic per-processor communication lower bounds.
+
+Two bound families cover every algorithm in the comparison matrix,
+following "Communication Lower Bounds for Distributed-Memory
+Computations" (Scquizzato & Silvestri; see PAPERS.md).  Both bound the
+number of *words* some processor must receive over the whole run, so
+they are safe to compare against the measured per-processor traffic
+(sent + received), which is never smaller than received alone.
+
+**Matmul family** (matmul, LU, Floyd APSP).  The computation performs
+``F`` elementary multiply-accumulate products over an iteration cube.
+Some processor performs at least ``F / P`` of them.  By the
+Loomis-Whitney inequality, a processor touching ``a`` words of the
+first operand, ``b`` of the second and ``c`` of the output completes at
+most ``sqrt(a * b * c)`` products; by AM-GM the cheapest way to afford
+``F / P`` products is ``a = b = c = (F / P)**(2/3)``, so the busiest
+processor accesses at least ``3 * (F / P)**(2/3)`` distinct words.  At
+most its balanced resident share ``R`` of the input/output arrays is
+local at the start, hence it must *receive* at least
+``3 * (F / P)**(2/3) - R`` words.  The per-algorithm ``F`` and ``R``
+are documented in docs/BOUNDS.md and encoded in :func:`cell_bound`.
+
+**Counting bound** (bitonic sort, sample sort).  Every processor starts
+and ends with ``M`` of the ``P * M`` keys.  For uniform random inputs
+a ``1 / P`` fraction of a processor's final keys originate locally in
+expectation, so some processor receives at least ``M - ceil(M / P)``
+keys — one word each, since the 32-bit keys occupy a single machine
+word on every modelled machine (w ∈ {4, 8} bytes).
+
+Both bounds are floored at one word: a parallel run in this matrix
+always moves *something* (P >= 2), and the floor keeps ratios finite
+at degenerate sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import BoundsError
+
+__all__ = [
+    "FAMILIES",
+    "matmul_family_bound",
+    "counting_bound",
+    "cell_bound",
+]
+
+#: The two bound families; every bound cell declares one.
+FAMILIES = ("matmul-family", "counting")
+
+#: Never report a bound below one word — see module docstring.
+_FLOOR_WORDS = 1.0
+
+
+def matmul_family_bound(*, flops: float, resident_words: float,
+                        P: int) -> dict:
+    """Loomis-Whitney bound on words received by the busiest processor.
+
+    ``flops`` counts elementary products in the iteration cube,
+    ``resident_words`` is the balanced per-processor share of the
+    operand/output arrays (the words a processor holds *before* any
+    communication).
+    """
+    if P < 1:
+        raise BoundsError(f"P must be >= 1, got {P}")
+    accessed = 3.0 * (flops / P) ** (2.0 / 3.0)
+    raw = accessed - resident_words
+    return {
+        "family": "matmul-family",
+        "bound_words": max(_FLOOR_WORDS, raw),
+        "detail": {
+            "flops": float(flops),
+            "accessed_words": accessed,
+            "resident_words": float(resident_words),
+            "raw_bound_words": raw,
+        },
+    }
+
+
+def counting_bound(*, keys_per_proc: int, P: int) -> dict:
+    """Counting bound on key-words received by some processor.
+
+    Each processor ends with ``keys_per_proc`` keys of which only
+    ``ceil(keys_per_proc / P)`` are expected to originate locally.
+    """
+    if P < 1:
+        raise BoundsError(f"P must be >= 1, got {P}")
+    local = math.ceil(keys_per_proc / P)
+    raw = float(keys_per_proc - local)
+    return {
+        "family": "counting",
+        "bound_words": max(_FLOOR_WORDS, raw),
+        "detail": {
+            "keys_per_proc": int(keys_per_proc),
+            "expected_local_keys": int(local),
+            "raw_bound_words": raw,
+        },
+    }
+
+
+def cell_bound(cell, n: int, P: int) -> dict:
+    """The lower bound for one matrix cell at problem size ``n``.
+
+    Dispatches on ``cell.algorithm``:
+
+    - ``matmul``: F = n^3 products; the q^3 block layout keeps
+      balanced shares of A, B and C resident, R = 3 n^2 / P.
+    - ``lu``: F = n^3 / 3 products (the triangular update cube); the
+      factorisation is in place, R = 2 n^2 / P (matrix + result share).
+    - ``apsp`` (Floyd): F = n^3 min-plus products over one in-place
+      distance matrix read and written, R = 2 n^2 / P.
+    - ``bitonic`` / ``samplesort``: counting bound with M = n keys
+      per processor.
+    """
+    alg = cell.algorithm
+    if alg == "matmul":
+        return matmul_family_bound(flops=float(n) ** 3,
+                                   resident_words=3.0 * n * n / P, P=P)
+    if alg == "lu":
+        return matmul_family_bound(flops=float(n) ** 3 / 3.0,
+                                   resident_words=2.0 * n * n / P, P=P)
+    if alg == "apsp":
+        return matmul_family_bound(flops=float(n) ** 3,
+                                   resident_words=2.0 * n * n / P, P=P)
+    if alg in ("bitonic", "samplesort"):
+        return counting_bound(keys_per_proc=n, P=P)
+    raise BoundsError(f"no lower bound known for algorithm {alg!r}")

@@ -1,0 +1,244 @@
+"""Validated entry point shared by ``repro bounds`` and ``POST /bounds``.
+
+:func:`bounds` is the one function both front-ends call: resolve the
+cell selection, measure every cell (IR-store warm path, cache-aware,
+optionally parallel) and assemble the ranked headroom report.  The
+served path runs it with ``jobs=1`` inside a batch worker; the CLI may
+fan cells out over the persistent pool.  Both produce byte-identical
+reports — the acceptance oracle of the service tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass
+
+from ..core.errors import BoundsError
+from ..faults import RetryPolicy, SYSTEM_CLOCK
+from ..runner.cache import ResultCache
+from ..runner.fingerprint import source_fingerprint
+from ..runner.pool import collect_resilient, shutdown_pool, warm_pool
+from ..simulator.vector import ENGINES, engine_scope
+from .analytic import cell_bound
+from .cells import (
+    BOUND_CELLS,
+    BoundCell,
+    SCOREBOARD_BOUND_CELLS,
+    resolve_bound_cells,
+)
+from .measure import measure_cell
+from .report import build_report
+
+__all__ = ["DEFAULT_THRESHOLD", "BoundsRequest", "bound_run_id", "bounds",
+           "scoreboard_optimality"]
+
+#: Default attained/optimal ratio above which a cell is flagged
+#: HEADROOM.  Chosen between the matmul family (constant-factor, <= ~6x
+#: at every matrix size) and the sorting cells (40x+): flags genuine
+#: algorithmic headroom, not the unavoidable constant of a dense port.
+DEFAULT_THRESHOLD = 8.0
+
+
+@dataclass(frozen=True)
+class BoundsRequest:
+    """One fully validated optimality-bounds request.
+
+    ``cells`` of ``None`` selects the full default matrix.  The
+    execution knobs (``jobs`` and the cache fields) never influence the
+    report's bytes — they are excluded from :attr:`key`, the service's
+    LRU identity.  ``threshold`` *is* part of the identity: it changes
+    the headroom flags in the report.
+    """
+
+    cells: tuple[str, ...] | None = None
+    scale: float = 0.3
+    seed: int = 0
+    threshold: float = DEFAULT_THRESHOLD
+    # execution knobs (not part of the request identity; engines are
+    # observationally identical, so engine is one too)
+    jobs: int = 1
+    cache_dir: str | None = None
+    use_cache: bool = True
+    force: bool = False
+    engine: str = "auto"
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "BoundsRequest":
+        """Validate a JSON body; raise :class:`BoundsError` with a
+        client-presentable message on any problem."""
+        if not isinstance(doc, dict):
+            raise BoundsError("request body must be a JSON object")
+        cells = doc.get("cells")
+        if cells is not None:
+            if not isinstance(cells, list) or not cells \
+                    or not all(isinstance(n, str) for n in cells):
+                raise BoundsError("cells must be a non-empty list of names")
+            cells = tuple(cells)
+        # resolve eagerly so unknown names fail at validation time
+        resolve_bound_cells(cells)
+        scale = doc.get("scale", 0.3)
+        if not isinstance(scale, (int, float)) or isinstance(scale, bool) \
+                or not 0 < scale <= 1:
+            raise BoundsError(f"scale must be in (0, 1], got {scale!r}")
+        seed = doc.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool) \
+                or not 0 <= seed < 2 ** 31:
+            raise BoundsError(f"seed must be a non-negative int, "
+                              f"got {seed!r}")
+        threshold = doc.get("threshold", DEFAULT_THRESHOLD)
+        if not isinstance(threshold, (int, float)) \
+                or isinstance(threshold, bool) \
+                or not math.isfinite(threshold) or threshold <= 0:
+            raise BoundsError(f"threshold must be a positive finite "
+                              f"number, got {threshold!r}")
+        engine = doc.get("engine", "auto")
+        if not isinstance(engine, str) or engine not in ENGINES:
+            raise BoundsError(f"engine must be one of {list(ENGINES)}, "
+                              f"got {engine!r}")
+        return cls(cells=cells, scale=float(scale), seed=seed,
+                   threshold=float(threshold), engine=engine)
+
+    @property
+    def key(self) -> tuple:
+        """What determines the report bytes (execution knobs excluded)."""
+        cells = ("*",) if self.cells is None \
+            else tuple(sorted(set(self.cells)))
+        return (cells, self.scale, self.seed, self.threshold)
+
+
+def bound_run_id(cell: str, *, scale: float, seed: int,
+                 fingerprint: str) -> str:
+    """Stable content-addressed ID of one cell measurement."""
+    doc = {
+        "kind": "bounds-cell",
+        "cell": cell,
+        "scale": scale,
+        "seed": seed,
+        "code": fingerprint,
+    }
+    text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _bounds_worker(name: str, scale: float, seed: int) -> tuple[dict, float]:
+    """Pool-side cell measurement."""
+    t0 = time.perf_counter()
+    doc = measure_cell(BOUND_CELLS[name], scale=scale, seed=seed)
+    return doc, time.perf_counter() - t0
+
+
+def evaluate_cells(cells: tuple[BoundCell, ...], *, scale: float, seed: int,
+                   jobs: int = 1, cache: ResultCache | None = None,
+                   force: bool = False) -> dict[str, dict]:
+    """Measure every cell; returns ``cell name -> measurement doc``.
+
+    Mirrors the ablation evaluator: probe the result cache, measure the
+    misses (inline for ``jobs == 1``, else on the persistent pool with
+    in-process fallback), round-trip fresh docs through JSON so fresh
+    and cached reports are byte-identical, store them.
+    """
+    if jobs < 1:
+        raise BoundsError(f"jobs must be >= 1, got {jobs}")
+    fingerprint = source_fingerprint()
+    docs: dict[str, dict] = {}
+    misses: list[tuple[BoundCell, str]] = []
+    for cell in cells:
+        run_id = bound_run_id(cell.name, scale=scale, seed=seed,
+                              fingerprint=fingerprint)
+        label = f"bounds:{cell.name}"
+        if cache is not None and not force:
+            hit = cache.get_doc(run_id, label)
+            if hit is not None:
+                docs[cell.name] = hit
+                continue
+        misses.append((cell, run_id))
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            fresh = {cell.name: measure_cell(cell, scale=scale, seed=seed)
+                     for cell, _ in misses}
+        else:
+            fresh = {}
+            policy = RetryPolicy(max_attempts=3, base_delay_s=0.05,
+                                 max_delay_s=1.0, seed=seed)
+            ex = warm_pool(jobs, seed=seed)
+            futures = {cell.name: ex.submit(_bounds_worker, cell.name,
+                                            scale, seed)
+                       for cell, _ in misses}
+            by_name = {cell.name: cell for cell, _ in misses}
+            try:
+                for name, fut in futures.items():
+                    cell = by_name[name]
+
+                    def fallback(cell=cell):
+                        t0 = time.perf_counter()
+                        doc = measure_cell(cell, scale=scale, seed=seed)
+                        return doc, time.perf_counter() - t0
+
+                    doc, _ = collect_resilient(
+                        _bounds_worker, (name, scale, seed), fut,
+                        fallback=fallback, jobs=jobs, seed=seed,
+                        policy=policy, clock=SYSTEM_CLOCK, timeout_s=None)
+                    fresh[name] = doc
+            except BaseException:
+                for pending in futures.values():
+                    pending.cancel()
+                shutdown_pool()
+                raise
+        for (cell, run_id) in misses:
+            # round-trip so fresh == cached byte for byte downstream
+            doc = json.loads(json.dumps(fresh[cell.name]))
+            if cache is not None:
+                if force:
+                    cache.stats.record(f"bounds:{cell.name}", hit=False)
+                cache.put_doc(run_id, doc, meta={
+                    "experiment": f"bounds:{cell.name}",
+                    "scale": scale, "seed": seed, "code": fingerprint})
+            docs[cell.name] = doc
+
+    return docs
+
+
+def bounds(req: BoundsRequest) -> dict:
+    """Run the optimality scoreboard described by ``req``."""
+    if req.engine not in ENGINES:
+        raise BoundsError(f"unknown engine {req.engine!r}; "
+                          f"expected one of {ENGINES}")
+    cells = resolve_bound_cells(req.cells)
+    cache = ResultCache(req.cache_dir) if req.use_cache else None
+    with engine_scope(req.engine):
+        docs = evaluate_cells(cells, scale=req.scale, seed=req.seed,
+                              jobs=req.jobs, cache=cache, force=req.force)
+    return build_report(cells, docs, scale=req.scale, seed=req.seed,
+                        threshold=req.threshold)
+
+
+def scoreboard_optimality(*, scale: float, seed: int,
+                          workloads=None) -> dict[str, dict]:
+    """Attained-vs-optimal column for the validation scoreboard.
+
+    Maps each scoreboard workload to its bound cell (same machine and
+    size schedule) and measures it directly — no result cache, because
+    the scoreboard's own cell runs have just warmed the in-memory IR
+    store, so the measurement is a pure structure extraction.
+    """
+    out: dict[str, dict] = {}
+    for workload, name in SCOREBOARD_BOUND_CELLS.items():
+        if workloads is not None and workload not in workloads:
+            continue
+        cell = BOUND_CELLS[name]
+        doc = measure_cell(cell, scale=scale, seed=seed)
+        bound = cell_bound(cell, doc["n"], doc["volume"]["P"])
+        measured = doc["volume"]["max_traffic_words"]
+        out[workload] = {
+            "cell": name,
+            "family": bound["family"],
+            "n": doc["n"],
+            "bound_words": bound["bound_words"],
+            "measured_words": measured,
+            "ratio": measured / bound["bound_words"],
+        }
+    return out

@@ -1,0 +1,146 @@
+"""The default bound-cell matrix and its algorithm glue.
+
+A :class:`BoundCell` names one (algorithm, variant, machine) point of
+the comparison matrix together with its problem-size schedule and
+bound family.  The glue functions below duplicate — deliberately and
+verbatim — the ``key_params`` dictionaries the algorithm ``run()``
+bodies pass to :func:`repro.simulator.lower.run_lowered`, so the warm
+measurement path can look step programs up in the IR store without
+running anything.  The warm-path spy test pins this duplication: if a
+``run()`` signature drifts, the lookup misses, the measurement falls
+back to a live run, and the spy fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms import apsp, bitonic, lu, matmul, samplesort
+from ..core.errors import BoundsError
+
+__all__ = [
+    "BoundCell",
+    "BOUND_CELLS",
+    "DEFAULT_CELLS",
+    "SCOREBOARD_BOUND_CELLS",
+    "resolve_bound_cells",
+    "cell_key_params",
+    "cell_program",
+    "cell_run",
+]
+
+
+@dataclass(frozen=True)
+class BoundCell:
+    """One cell of the optimality matrix."""
+
+    name: str           #: "<algorithm[-variant]>/<machine>"
+    algorithm: str      #: registry name ("matmul", "lu", ...)
+    variant: str | None  #: algorithm variant, None where run() has none
+    machine: str        #: machine name for experiments.machine_for
+    family: str         #: bound family (see analytic.FAMILIES)
+    base: int           #: nominal size at scale 1.0
+    multiple: int       #: sizes are rounded down to this multiple
+    minimum: int        #: floor so every scale still runs
+
+    def size(self, scale: float) -> int:
+        """Problem size (n for dense algorithms, M keys/proc for sorts)."""
+        return max(self.minimum, int(self.base * scale)
+                   // self.multiple * self.multiple)
+
+
+#: The default matrix, in render order.  Sizes mirror the validation
+#: scoreboard where the same workload appears there.
+_CELLS = (
+    BoundCell("matmul/cm5", "matmul", "bsp-staggered", "cm5",
+              "matmul-family", base=256, multiple=16, minimum=64),
+    BoundCell("matmul-blk/cm5", "matmul", "bpram", "cm5",
+              "matmul-family", base=256, multiple=16, minimum=64),
+    BoundCell("lu/gcel", "lu", None, "gcel",
+              "matmul-family", base=128, multiple=32, minimum=32),
+    BoundCell("apsp/gcel", "apsp", None, "gcel",
+              "matmul-family", base=128, multiple=32, minimum=32),
+    BoundCell("bitonic/maspar", "bitonic", "bsp", "maspar",
+              "counting", base=32, multiple=8, minimum=8),
+    BoundCell("bitonic-blk/gcel", "bitonic", "bpram", "gcel",
+              "counting", base=1024, multiple=256, minimum=256),
+    BoundCell("samplesort/gcel", "samplesort", "bpram", "gcel",
+              "counting", base=256, multiple=64, minimum=64),
+)
+
+BOUND_CELLS: dict[str, BoundCell] = {c.name: c for c in _CELLS}
+
+#: Default cell names, in render order.
+DEFAULT_CELLS: tuple[str, ...] = tuple(c.name for c in _CELLS)
+
+#: Validation-scoreboard workload -> bound cell carrying its
+#: attained-vs-optimal column (scoreboard sizes match these cells).
+SCOREBOARD_BOUND_CELLS: dict[str, str] = {
+    "matmul": "matmul/cm5",
+    "matmul-blk": "matmul-blk/cm5",
+    "bitonic": "bitonic/maspar",
+    "bitonic-blk": "bitonic-blk/gcel",
+    "apsp": "apsp/gcel",
+}
+
+
+def resolve_bound_cells(names=None) -> tuple[BoundCell, ...]:
+    """Map cell names to :class:`BoundCell` rows, in matrix order.
+
+    ``None`` (or an empty selection) means the full default matrix.
+    Unknown names raise :class:`BoundsError` listing the valid ones.
+    """
+    if not names:
+        return _CELLS
+    unknown = sorted(set(names) - set(BOUND_CELLS))
+    if unknown:
+        raise BoundsError(
+            f"unknown bound cell(s) {unknown}; "
+            f"valid cells: {sorted(BOUND_CELLS)}")
+    wanted = set(names)
+    return tuple(c for c in _CELLS if c.name in wanted)
+
+
+def cell_key_params(cell: BoundCell, n: int, seed: int) -> dict:
+    """The exact ``key_params`` the algorithm's run() records under."""
+    alg = cell.algorithm
+    if alg == "matmul":
+        return {"N": n, "variant": cell.variant, "seed": seed}
+    if alg == "lu":
+        return {"N": n, "seed": seed}
+    if alg == "apsp":
+        return {"N": n, "seed": seed, "density": 0.3}
+    if alg == "bitonic":
+        return {"M": n, "variant": cell.variant, "seed": seed,
+                "sync_every": 256, "key_bits": 32, "group_words": 1}
+    if alg == "samplesort":
+        return {"M": n, "variant": cell.variant, "oversample": 32,
+                "seed": seed, "key_bits": 32}
+    raise BoundsError(f"unknown algorithm {alg!r}")
+
+
+def cell_program(cell: BoundCell):
+    """The vector program whose source fingerprint keys the IR store."""
+    return {
+        "matmul": matmul.matmul_vector_program,
+        "lu": lu.lu_vector_program,
+        "apsp": apsp.apsp_vector_program,
+        "bitonic": bitonic.bitonic_vector_program,
+        "samplesort": samplesort.sample_sort_vector_program,
+    }[cell.algorithm]
+
+
+def cell_run(cell: BoundCell, machine, n: int, seed: int):
+    """Run the cell's algorithm live (records IR under the ir engine)."""
+    alg = cell.algorithm
+    if alg == "matmul":
+        return matmul.run(machine, n, variant=cell.variant, seed=seed)
+    if alg == "lu":
+        return lu.run(machine, n, seed=seed)
+    if alg == "apsp":
+        return apsp.run(machine, n, seed=seed)
+    if alg == "bitonic":
+        return bitonic.run(machine, n, variant=cell.variant, seed=seed)
+    if alg == "samplesort":
+        return samplesort.run(machine, n, variant=cell.variant, seed=seed)
+    raise BoundsError(f"unknown algorithm {alg!r}")

@@ -17,6 +17,9 @@ Subcommands:
 * ``ablate`` — switch simulated machine phenomena off one by one,
   re-run the scoreboard per configuration and rank each component by
   how much modelling it buys in prediction accuracy (docs/ABLATION.md);
+* ``bounds`` — compare measured communication volume against analytic
+  lower bounds per matrix cell and rank the attained-vs-optimal
+  ratios, flagging cells with algorithmic headroom (docs/BOUNDS.md);
 * ``attribute`` — run one workload and attribute a model's error per
   superstep family (the paper's §5 diagnostics, mechanised);
 * ``machines`` — the simulated platforms and their headline behaviours;
@@ -307,6 +310,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulation engine for cell evaluation "
                          "(default auto)")
 
+    bo = sub.add_parser(
+        "bounds",
+        help="rank measured communication volume against analytic "
+             "lower bounds and flag cells with headroom")
+    bo.add_argument("--cells", nargs="+", default=None, metavar="CELL",
+                    help="bound cells to measure (default: the full "
+                         "matrix; e.g. matmul/cm5 bitonic/maspar)")
+    bo.add_argument("--scale", type=float, default=0.3,
+                    help="problem-size scale in (0, 1] (default 0.3)")
+    bo.add_argument("--seed", type=int, default=0)
+    bo.add_argument("--threshold", type=_positive_float, default=None,
+                    metavar="X",
+                    help="flag HEADROOM past this attained/optimal "
+                         "ratio (default 8.0)")
+    bo.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                    help="worker processes for uncached measurements "
+                         "(default 1)")
+    bo.add_argument("--json", metavar="FILE", default=None, dest="json_path",
+                    help="write the report as JSON ('-' = stdout)")
+    bo.add_argument("--no-cache", action="store_true",
+                    help="neither read nor write the result cache")
+    bo.add_argument("--force", action="store_true",
+                    help="recompute even on a cache hit (refreshes the "
+                         "stored entries)")
+    bo.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache root (default: $REPRO_CACHE_DIR or "
+                         "~/.cache/repro)")
+    bo.add_argument("--engine", choices=ENGINES, default="auto",
+                    help="simulation engine for live measurements "
+                         "(default auto)")
+
     at = sub.add_parser(
         "attribute",
         help="run a workload and attribute a model's error per superstep")
@@ -479,23 +513,25 @@ def _cmd_bench(ids: list[str], *, quick: bool, scale: float, seed: int,
 def _cmd_cache(action: str, cache_dir: str | None,
                as_json: bool = False) -> int:
     from .runner import ResultCache
+    from .simulator.ir import IRStore
 
     cache = ResultCache(cache_dir)
     if action == "clear":
-        from .simulator.ir import IRStore
-
         removed = cache.clear()
         programs = IRStore(cache.root / "ir").clear()
         print(f"removed {removed} cached result(s) and {programs} step "
               f"program(s) from {cache.root}")
         return 0
     entries = cache.entries()
+    ir_count, ir_bytes = IRStore(cache.root / "ir").disk_stats()
     if as_json:
         import json
 
         print(json.dumps({"root": str(cache.root),
                           "count": len(entries),
-                          "entries": entries}, indent=1))
+                          "entries": entries,
+                          "ir": {"count": ir_count,
+                                 "bytes": ir_bytes}}, indent=1))
         return 0
     print(f"cache root: {cache.root}")
     print(f"{len(entries)} cached result(s)")
@@ -504,6 +540,7 @@ def _cmd_cache(action: str, cache_dir: str | None,
         print(f"  {exp:<16} scale={e.get('scale', '?'):<6} "
               f"seed={e.get('seed', '?'):<4} {e['bytes']:>8} bytes  "
               f"{e['key'][:12]}")
+    print(f"{ir_count} recorded step program(s), {ir_bytes} bytes")
     return 0
 
 
@@ -537,6 +574,40 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
             force=args.force, engine=args.engine)
         report = ablate(req, faults=plan)
     except (AblationError, FaultError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_path:
+        import json
+
+        text = json.dumps(report, indent=1, sort_keys=True)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json_path}")
+    if args.json_path != "-":
+        print(render_report(report))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    """Measure the bound matrix and print the headroom ranking."""
+    from .bounds import BoundsRequest, DEFAULT_THRESHOLD, bounds, \
+        render_report
+    from .core.errors import BoundsError
+
+    try:
+        req = BoundsRequest(
+            cells=tuple(args.cells) if args.cells else None,
+            scale=args.scale, seed=args.seed,
+            threshold=(DEFAULT_THRESHOLD if args.threshold is None
+                       else args.threshold),
+            jobs=args.jobs, cache_dir=args.cache_dir,
+            use_cache=not args.no_cache, force=args.force,
+            engine=args.engine)
+        report = bounds(req)
+    except BoundsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json_path:
@@ -705,6 +776,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "ablate":
         return _cmd_ablate(args)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
     if args.command == "attribute":
         return _cmd_attribute(args.machine, args.workload, args.model,
                               args.size, args.seed)

@@ -17,6 +17,7 @@ __all__ = [
     "CalibrationError",
     "ExperimentError",
     "AblationError",
+    "BoundsError",
     "FaultError",
     "FaultInjected",
 ]
@@ -60,6 +61,10 @@ class ExperimentError(ReproError):
 
 class AblationError(ReproError):
     """An ablation request named unknown components or cells."""
+
+
+class BoundsError(ReproError):
+    """An optimality-bounds request named unknown cells or bad knobs."""
 
 
 class FaultError(ReproError):

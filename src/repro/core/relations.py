@@ -185,6 +185,21 @@ class CommPhase:
         return np.bincount(self.dst, weights=self.count * self.msg_bytes,
                            minlength=self.P).astype(np.int64)
 
+    @cached_property
+    def traffic_bytes_per_proc(self) -> np.ndarray:
+        """Bytes sent plus received by each processor; shape ``(P,)``.
+
+        The per-processor *communication volume* of the phase — the
+        quantity the bandwidth lower bounds of :mod:`repro.bounds`
+        constrain from below.
+        """
+        return self.bytes_sent_per_proc + self.bytes_recv_per_proc
+
+    @property
+    def max_traffic_bytes(self) -> int:
+        """Largest per-processor communication volume (sent + received)."""
+        return int(self.traffic_bytes_per_proc.max(initial=0))
+
     @property
     def h_s(self) -> int:
         """Maximum messages sent by any processor (BSP ``h_s``)."""

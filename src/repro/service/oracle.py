@@ -49,7 +49,7 @@ from ..validation.scoreboard import Cell
 
 __all__ = ["PredictRequest", "ALGORITHMS", "MODELS", "default_size",
            "predict_offline", "compare_offline", "ablate_offline",
-           "evaluate_batch", "OracleError"]
+           "bounds_offline", "evaluate_batch", "OracleError"]
 
 
 class OracleError(ReproError):
@@ -297,6 +297,21 @@ def ablate_offline(doc_or_req) -> dict:
     return ablate(req)
 
 
+def bounds_offline(doc_or_req) -> dict:
+    """One optimality-bounds request through the offline pipeline.
+
+    The reference for ``POST /bounds``: a served report must be
+    byte-identical to this (measurement is deterministic and the
+    execution knobs — jobs, cache/IR-store state — never change the
+    bytes).  Runs with ``jobs=1`` inside a batch worker.
+    """
+    from ..bounds import BoundsRequest, bounds
+
+    req = (doc_or_req if isinstance(doc_or_req, BoundsRequest)
+           else BoundsRequest.from_json(doc_or_req))
+    return bounds(req)
+
+
 # ----------------------------------------------------------------------
 # Batched (serving) path
 # ----------------------------------------------------------------------
@@ -305,7 +320,8 @@ def evaluate_batch(items: list[tuple[str, tuple, PredictRequest]]
                    ) -> dict[tuple, object]:
     """Evaluate one micro-batch of ``(kind, key, request)`` jobs.
 
-    ``kind`` is ``"predict"``, ``"compare"`` or ``"ablate"``.  Returns
+    ``kind`` is ``"predict"``, ``"compare"``, ``"ablate"`` or
+    ``"bounds"``.  Returns
     ``key -> response dict`` (or ``key -> Exception`` for per-job
     failures — one bad request never poisons its batch-mates).
 
@@ -345,6 +361,11 @@ def evaluate_batch(items: list[tuple[str, tuple, PredictRequest]]
                 # heavyweight and self-caching (the result cache makes
                 # repeats incremental); runs inline like compare
                 out[key] = ablate_offline(req)
+                continue
+            if kind == "bounds":
+                # same discipline: self-caching via the result cache
+                # and the IR store, inline in the batch worker
+                out[key] = bounds_offline(req)
                 continue
             res, cal = sim(req)
             gkey = (req.machine, req.model, req.seed)

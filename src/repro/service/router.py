@@ -16,8 +16,9 @@ import math
 
 from .. import __version__
 from ..ablation import AblateRequest, COMPONENTS
-from ..core.errors import AblationError, ExperimentError, FaultInjected, \
-    ReproError
+from ..bounds import BoundsRequest, DEFAULT_CELLS, DEFAULT_THRESHOLD
+from ..core.errors import AblationError, BoundsError, ExperimentError, \
+    FaultInjected, ReproError
 from ..machines import machine_catalog
 from ..validation.scoreboard import CELL_SPECS
 from .httpd import HttpError, Request, Response
@@ -111,6 +112,10 @@ async def capabilities(app, request: Request) -> Response:
         "ablation": {
             "components": [c.to_dict() for c in COMPONENTS.values()],
             "cells": list(CELL_SPECS),
+        },
+        "bounds": {
+            "cells": list(DEFAULT_CELLS),
+            "default_threshold": DEFAULT_THRESHOLD,
         },
     })
 
@@ -237,6 +242,23 @@ async def ablate(app, request: Request) -> Response:
     return await _submit_guarded(app, "ablate", key, req)
 
 
+async def bounds(app, request: Request) -> Response:
+    """Run the optimality scoreboard through the batching dispatcher.
+
+    Same key discipline as /ablate: execution knobs stay out of the
+    LRU/batcher key, the threshold stays in (it changes the report's
+    headroom flags), and the per-cell result cache makes cold
+    measurements of overlapping matrices incremental.
+    """
+    try:
+        req = BoundsRequest.from_json(request.json())
+    except BoundsError as exc:
+        raise HttpError(422, str(exc)) from exc
+    req = dataclasses.replace(req, cache_dir=app.config.cache_dir)
+    key = ("bounds",) + req.key
+    return await _submit_guarded(app, "bounds", key, req)
+
+
 async def metrics(app, request: Request) -> Response:
     """Prometheus exposition; fleet-aggregated when a board is shared.
 
@@ -268,6 +290,7 @@ def default_router() -> Router:
     router.add("POST", "/predict", predict)
     router.add("POST", "/compare", compare)
     router.add("POST", "/ablate", ablate)
+    router.add("POST", "/bounds", bounds)
     router.add("GET", "/metrics", metrics)
     return router
 

@@ -55,6 +55,9 @@ class Cell:
 @dataclass
 class Scoreboard:
     cells: list[Cell] = field(default_factory=list)
+    #: workload -> attained-vs-optimal entry from :mod:`repro.bounds`
+    #: (empty when the board was built without the optimality column).
+    optimality: dict[str, dict] = field(default_factory=dict)
 
     def models(self) -> list[str]:
         seen: list[str] = []
@@ -160,19 +163,36 @@ def run_cell(name: str, *, scale: float = 1.0, seed: int = 0,
             for model in _models_for(cal)]
 
 
-def build_scoreboard(*, scale: float = 1.0, seed: int = 0) -> Scoreboard:
-    """Run the workload matrix and price every trace under every model."""
+def build_scoreboard(*, scale: float = 1.0, seed: int = 0,
+                     optimality: bool = True) -> Scoreboard:
+    """Run the workload matrix and price every trace under every model.
+
+    ``optimality=True`` additionally fills the attained-vs-optimal
+    column from :mod:`repro.bounds`.  Under the default IR engine the
+    cell runs above have just recorded their step programs, so the
+    column is a pure structure extraction — no extra simulation.
+    """
     board = Scoreboard()
     for name in CELL_SPECS:
         board.cells.extend(run_cell(name, scale=scale, seed=seed))
+    if optimality:
+        # imported lazily: repro.bounds imports the algorithm modules,
+        # and the scoreboard must stay importable on its own.
+        from ..bounds import scoreboard_optimality
+        board.optimality = scoreboard_optimality(scale=scale, seed=seed)
     return board
 
 
 def render_scoreboard(board: Scoreboard) -> str:
-    """Text table: rows = (workload, machine), columns = models."""
+    """Text table: rows = (workload, machine), columns = models.
+
+    The trailing ``att/opt`` column reports the workload's measured
+    communication volume over its analytic lower bound (the optimality
+    scoreboard, ``repro bounds``); ``-`` where no bound cell matches.
+    """
     models = board.models()
     head = f"{'workload':<14}{'machine':<9}" + "".join(
-        f"{m:>11}" for m in models)
+        f"{m:>11}" for m in models) + f"{'att/opt':>10}"
     lines = ["Signed prediction error (positive = model overestimates)",
              head, "-" * len(head)]
     for workload, machine in board.rows():
@@ -180,6 +200,8 @@ def render_scoreboard(board: Scoreboard) -> str:
         for model in models:
             err = board.error(workload, machine, model)
             row += f"{'-':>11}" if err is None else f"{err:>+10.0%} "
+        opt = board.optimality.get(workload)
+        row += f"{'-':>10}" if opt is None else f"{opt['ratio']:>9.1f}x"
         lines.append(row)
     lines.append("")
     lines.append(f"least faithful model overall: {board.worst_model()}")

@@ -1,0 +1,19 @@
+"""Fixtures for the bounds suite."""
+
+import pytest
+
+from repro.simulator.ir import IRStore, set_ir_store
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ir_store():
+    """A fresh process-global IR store per test.
+
+    The store's in-memory side outlives the per-test ``$REPRO_CACHE_DIR``
+    isolation (other suites record the very same algorithm
+    configurations), so cold/warm-path assertions here would otherwise
+    depend on test order.
+    """
+    prev = set_ir_store(IRStore())
+    yield
+    set_ir_store(prev)

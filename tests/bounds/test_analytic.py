@@ -1,0 +1,109 @@
+"""The pure analytic bounds: formulas, floors, dispatch, monotonicity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds import BOUND_CELLS, cell_bound, counting_bound, \
+    matmul_family_bound
+from repro.core.errors import BoundsError
+
+pytestmark = pytest.mark.fast
+
+
+class TestMatmulFamilyBound:
+    def test_loomis_whitney_formula(self):
+        # n=64, P=64: 3*(64^3/64)^(2/3) - 3*64^2/64 = 768 - 192 = 576
+        got = matmul_family_bound(flops=64 ** 3,
+                                  resident_words=3 * 64 ** 2 / 64, P=64)
+        assert got["family"] == "matmul-family"
+        assert got["bound_words"] == pytest.approx(576.0)
+        assert got["detail"]["accessed_words"] == pytest.approx(768.0)
+
+    def test_floored_at_one_word_when_residency_dominates(self):
+        got = matmul_family_bound(flops=8, resident_words=1e6, P=2)
+        assert got["bound_words"] == 1.0
+        assert got["detail"]["raw_bound_words"] < 0
+
+    def test_rejects_bad_P(self):
+        with pytest.raises(BoundsError, match="P must be"):
+            matmul_family_bound(flops=1, resident_words=0, P=0)
+
+
+class TestCountingBound:
+    def test_keys_minus_expected_local(self):
+        got = counting_bound(keys_per_proc=256, P=64)
+        assert got["family"] == "counting"
+        # ceil(256/64) = 4 keys expected to stay local
+        assert got["bound_words"] == 252.0
+        assert got["detail"]["expected_local_keys"] == 4
+
+    def test_floored_at_one_word(self):
+        assert counting_bound(keys_per_proc=1, P=2)["bound_words"] == 1.0
+
+    def test_rejects_bad_P(self):
+        with pytest.raises(BoundsError, match="P must be"):
+            counting_bound(keys_per_proc=8, P=-1)
+
+
+class TestCellDispatch:
+    @pytest.mark.parametrize("name,family", [
+        ("matmul/cm5", "matmul-family"),
+        ("lu/gcel", "matmul-family"),
+        ("apsp/gcel", "matmul-family"),
+        ("bitonic/maspar", "counting"),
+        ("samplesort/gcel", "counting"),
+    ])
+    def test_family_per_algorithm(self, name, family):
+        cell = BOUND_CELLS[name]
+        assert cell_bound(cell, 64, 64)["family"] == family == cell.family
+
+    def test_lu_cube_is_a_third_of_matmul(self):
+        lu = cell_bound(BOUND_CELLS["lu/gcel"], 96, 64)
+        mm = cell_bound(BOUND_CELLS["matmul/cm5"], 96, 64)
+        assert lu["detail"]["flops"] == pytest.approx(
+            mm["detail"]["flops"] / 3)
+
+    def test_unknown_algorithm_raises(self):
+        from repro.bounds import BoundCell
+        bogus = BoundCell("x/y", "stencil", None, "gcel", "counting",
+                          base=8, multiple=1, minimum=1)
+        with pytest.raises(BoundsError, match="no lower bound"):
+            cell_bound(bogus, 8, 4)
+
+
+class TestMonotonicity:
+    """The analytic halves of the ISSUE's property battery: at fixed P
+    the bound grows monotonically in n (pure math, so exhaustive-ish
+    hypothesis sweeps are cheap)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=8, max_value=2048),
+           step=st.integers(min_value=1, max_value=512),
+           P=st.sampled_from([16, 64, 256, 1024]))
+    def test_matmul_family_bound_monotone_in_n(self, n, step, P):
+        for cell in (BOUND_CELLS["matmul/cm5"], BOUND_CELLS["lu/gcel"],
+                     BOUND_CELLS["apsp/gcel"]):
+            lo = cell_bound(cell, n, P)["bound_words"]
+            hi = cell_bound(cell, n + step, P)["bound_words"]
+            assert hi >= lo
+
+    @settings(max_examples=50, deadline=None)
+    @given(m=st.integers(min_value=2, max_value=1 << 20),
+           step=st.integers(min_value=1, max_value=1 << 16),
+           P=st.sampled_from([16, 64, 1024]))
+    def test_counting_bound_monotone_in_m(self, m, step, P):
+        lo = counting_bound(keys_per_proc=m, P=P)["bound_words"]
+        hi = counting_bound(keys_per_proc=m + step, P=P)["bound_words"]
+        assert hi >= lo
+
+    @settings(max_examples=50, deadline=None)
+    @given(scale=st.floats(min_value=0.01, max_value=1.0,
+                           allow_nan=False))
+    def test_cell_sizes_respect_floor_and_multiple(self, scale):
+        for cell in BOUND_CELLS.values():
+            n = cell.size(scale)
+            assert n >= cell.minimum
+            assert n % math.gcd(cell.multiple, n) == 0
+            assert n == cell.minimum or n % cell.multiple == 0

@@ -1,0 +1,56 @@
+"""Golden optimality ranking.
+
+``tests/golden/bounds.json`` pins the full-matrix attained-vs-optimal
+report at (scale 0.3, seed 0) — ratios, bounds, measured volumes and
+headroom flags, byte for byte.  Regenerate intentionally with
+``PYTHONPATH=src python scripts/update_golden.py``.
+
+Unlike the ablation golden, the full matrix here is sub-second (the
+measurement path needs no calibration), so the byte-identity test stays
+in tier-1 and the ``fast`` pre-commit selection.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bounds import DEFAULT_CELLS, SCHEMA, BoundsRequest, bounds
+
+GOLDEN = Path(__file__).parents[1] / "golden" / "bounds.json"
+
+
+def report_bytes(report: dict) -> bytes:
+    return json.dumps(report, sort_keys=True).encode()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.golden
+@pytest.mark.fast
+class TestGoldenRanking:
+    def test_full_matrix_reproduces_golden_bytes(self, golden):
+        fresh = bounds(BoundsRequest(scale=golden["scale"],
+                                     seed=golden["seed"], use_cache=False))
+        assert report_bytes(fresh) == report_bytes(golden["report"]), (
+            "optimality ranking diverged from tests/golden/bounds.json — "
+            "if the change is intentional, rerun scripts/update_golden.py")
+
+    def test_golden_ranking_is_complete_and_sorted(self, golden):
+        report = golden["report"]
+        assert report["schema"] == SCHEMA
+        assert {e["cell"] for e in report["ranking"]} == set(DEFAULT_CELLS)
+        assert report["skipped"] == []
+        ratios = [e["ratio"] for e in report["ranking"]]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_golden_is_sound_and_consistently_flagged(self, golden):
+        report = golden["report"]
+        flagged = set(report["summary"]["flagged"])
+        for e in report["ranking"]:
+            assert e["ratio"] >= 1.0, e
+            assert e["headroom"] == (e["cell"] in flagged)
+            assert e["headroom"] == (e["ratio"] > report["threshold"])

@@ -1,0 +1,81 @@
+"""Hypothesis battery over real measurements (ISSUE 9 satellites).
+
+Soundness (measured >= bound) on sampled cells/scales/seeds, ratio
+invariance across seeds for the deterministic-structure algorithms,
+and monotone growth of measured volume in n at fixed P.  The analytic
+halves (bound monotonicity, size schedules) live in test_analytic.py;
+these run real simulations, so examples are bounded and the heavier
+classes are marked slow.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bounds import BOUND_CELLS, DEFAULT_CELLS, cell_bound, \
+    measure_cell
+
+SCALES = (0.3, 0.65, 1.0)
+
+#: every default cell has deterministic communication *structure* at
+#: fixed n: the dense algorithms by construction, bitonic because the
+#: network is data-oblivious, and samplesort because its oversampled
+#: splitters balance uniform keys identically at these sizes.
+DET_SETTINGS = settings(max_examples=12, deadline=None,
+                        suppress_health_check=[
+                            HealthCheck.function_scoped_fixture])
+
+
+def ratio_of(cell, scale, seed):
+    doc = measure_cell(cell, scale=scale, seed=seed)
+    bound = cell_bound(cell, doc["n"], doc["volume"]["P"])
+    return doc["volume"]["max_traffic_words"] / bound["bound_words"]
+
+
+@pytest.mark.slow
+class TestSoundnessProperty:
+    @DET_SETTINGS
+    @given(name=st.sampled_from(DEFAULT_CELLS),
+           scale=st.sampled_from(SCALES),
+           seed=st.integers(min_value=0, max_value=2))
+    def test_measured_never_below_bound(self, name, scale, seed):
+        cell = BOUND_CELLS[name]
+        doc = measure_cell(cell, scale=scale, seed=seed)
+        bound = cell_bound(cell, doc["n"], doc["volume"]["P"])
+        assert doc["volume"]["max_traffic_words"] \
+            >= bound["bound_words"], (name, scale, seed)
+
+
+@pytest.mark.slow
+class TestSeedInvariance:
+    @DET_SETTINGS
+    @given(name=st.sampled_from(DEFAULT_CELLS),
+           scale=st.sampled_from(SCALES),
+           seeds=st.tuples(st.integers(min_value=0, max_value=3),
+                           st.integers(min_value=0, max_value=3)))
+    def test_ratio_is_seed_invariant(self, name, scale, seeds):
+        cell = BOUND_CELLS[name]
+        a, b = seeds
+        assert ratio_of(cell, scale, a) == ratio_of(cell, scale, b), \
+            (name, scale, seeds)
+
+
+@pytest.mark.slow
+class TestMonotoneGrowth:
+    @pytest.mark.parametrize("name", DEFAULT_CELLS)
+    def test_volume_and_bound_grow_with_n(self, name):
+        """Walking the scale ladder grows n, and with it both the
+        measured volume and the analytic bound, at fixed P."""
+        cell = BOUND_CELLS[name]
+        prev_n = prev_vol = prev_bound = -1.0
+        for scale in SCALES:
+            doc = measure_cell(cell, scale=scale, seed=0)
+            vol = doc["volume"]["max_traffic_words"]
+            bound = cell_bound(cell, doc["n"], doc["volume"]["P"])
+            if doc["n"] == prev_n:
+                assert vol == prev_vol
+                continue
+            assert doc["n"] > prev_n
+            assert vol > prev_vol, (name, scale)
+            assert bound["bound_words"] >= prev_bound, (name, scale)
+            prev_n, prev_vol = doc["n"], vol
+            prev_bound = bound["bound_words"]

@@ -1,0 +1,86 @@
+"""``POST /bounds``: served == offline bytes, LRU dedup, validation.
+
+Acceptance oracle: a served optimality report must be byte-identical
+to :func:`repro.service.oracle.bounds_offline` — dispatcher, LRU and
+the service's result cache may not change a single byte.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.service.oracle import bounds_offline
+
+from .conftest import http
+
+#: one cheap cell so the in-worker measurement stays sub-second.
+DOC = {"cells": ["apsp/gcel"], "scale": 0.3, "seed": 0}
+
+
+def offline(doc):
+    # round-trip like the HTTP layer does, so comparisons are byte-level
+    return json.loads(json.dumps(bounds_offline(doc)))
+
+
+def lru_hits(port) -> int:
+    _, text, _ = http(port, "GET", "/metrics")
+    m = re.search(r'repro_lru_hits_total\{kind="bounds"\} (\d+)', text)
+    return int(m.group(1)) if m else 0
+
+
+class TestServedBytes:
+    def test_served_equals_offline(self, service_thread):
+        status, body, _ = http(service_thread.port, "POST", "/bounds", DOC)
+        assert status == 200
+        assert body == offline(DOC)
+        assert body["schema"] == "repro-bounds/1"
+        assert body["ranking"][0]["ratio"] >= 1.0
+
+    def test_repeat_request_is_an_lru_hit_with_same_bytes(self,
+                                                          service_thread):
+        port = service_thread.port
+        doc = dict(DOC, seed=1)
+        before = lru_hits(port)
+        _, first, _ = http(port, "POST", "/bounds", doc)
+        assert lru_hits(port) == before
+        _, second, _ = http(port, "POST", "/bounds", doc)
+        assert second == first
+        assert lru_hits(port) == before + 1
+
+    def test_cell_order_shares_one_lru_entry(self, service_thread):
+        """The cell selection is canonicalised into the LRU key, so
+        permuted selections dedupe onto the same cached report."""
+        port = service_thread.port
+        doc = {"cells": ["apsp/gcel", "bitonic/maspar"], "scale": 0.3,
+               "seed": 2}
+        flipped = {"cells": ["bitonic/maspar", "apsp/gcel"], "scale": 0.3,
+                   "seed": 2}
+        before = lru_hits(port)
+        _, first, _ = http(port, "POST", "/bounds", doc)
+        _, second, _ = http(port, "POST", "/bounds", flipped)
+        assert second == first
+        assert lru_hits(port) == before + 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("doc,fragment", [
+        ({"cells": ["bogus"]}, "unknown bound cell"),
+        ({"cells": []}, "non-empty list"),
+        ({"scale": 1.5}, "scale"),
+        ({"seed": -1}, "seed"),
+        ({"threshold": 0}, "threshold"),
+        ([], "JSON object"),
+    ])
+    def test_bad_request_answers_422(self, service_thread, doc, fragment):
+        status, body, _ = http(service_thread.port, "POST", "/bounds", doc)
+        assert status == 422
+        assert fragment in body["error"]
+
+    def test_capabilities_advertise_the_matrix(self, service_thread):
+        status, doc, _ = http(service_thread.port, "GET", "/capabilities")
+        assert status == 200
+        bnd = doc["bounds"]
+        assert "apsp/gcel" in bnd["cells"]
+        assert "bitonic/maspar" in bnd["cells"]
+        assert bnd["default_threshold"] == 8.0

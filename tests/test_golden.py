@@ -20,8 +20,9 @@ from repro.validation.series import ExperimentResult
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_IDS = ["fig1", "fig4", "fig14", "table1"]
-#: snapshots owned by other golden suites (tests/ablation/test_golden.py)
-EXTRA_SNAPSHOTS = ["ablate"]
+#: snapshots owned by other golden suites
+#: (tests/ablation/test_golden.py, tests/bounds/test_golden.py)
+EXTRA_SNAPSHOTS = ["ablate", "bounds"]
 
 pytestmark = pytest.mark.golden
 
