@@ -25,12 +25,13 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algorithms import apsp, bitonic, lu, matmul, samplesort  # noqa: E402
-from repro.machines import CM5, GCel, MasParMP1, T800Grid  # noqa: E402
+from repro.algorithms import apsp, bitonic, lu, matmul, radix, samplesort  # noqa: E402
+from repro.machines import CM5, GCel, MasParMP1, ModernCluster, T800Grid  # noqa: E402
 from repro.simulator.ir import (IRStore, _decode_blob, _encode_blob,  # noqa: E402
                                 StepProgram, ir_store_scope)
 
-MACHINES = {"maspar": MasParMP1, "gcel": GCel, "cm5": CM5, "t800": T800Grid}
+MACHINES = {"maspar": MasParMP1, "gcel": GCel, "cm5": CM5, "t800": T800Grid,
+            "modern": ModernCluster}
 
 CASES = [
     ("matmul", lambda m, e: matmul.run(m, 24, P=8, seed=3, engine=e)),
@@ -39,6 +40,7 @@ CASES = [
     ("apsp", lambda m, e: apsp.run(m, 24, P=16, seed=11, engine=e)),
     ("samplesort", lambda m, e: samplesort.run(m, 512, P=16, seed=13,
                                                engine=e)),
+    ("radix", lambda m, e: radix.run(m, 256, P=16, seed=17, engine=e)),
 ]
 
 

@@ -24,12 +24,14 @@ from repro.bounds import BoundsRequest, bounds  # noqa: E402
 from repro.experiments import get  # noqa: E402
 
 #: (experiment id, scale, seed) — a fast subset covering both machines,
-#: calibration fits and an algorithm figure.
+#: calibration fits, an algorithm figure, and the scenario-diversity
+#: extension (radix sort priced under every model, BSF included).
 GOLDEN = [
     ("fig1", 0.3, 0),
     ("fig4", 0.3, 0),
     ("fig14", 0.3, 0),
     ("table1", 0.3, 0),
+    ("ext-radix", 0.3, 0),
 ]
 
 #: (scale, seed) of the pinned full-matrix ablation ranking.

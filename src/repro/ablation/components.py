@@ -76,6 +76,15 @@ _DETAILS = {
         "§5.1, Fig. 7",
         "GCel processors drift out of sync without barriers; past ~300 "
         "back-to-back messages PVM buffering collapses super-linearly"),
+    "incast-collapse": (
+        "§8 extension (modern profile)",
+        "many senders converging on one fat-tree receiver collapse its "
+        "ingress link: the hot node pays extra per word above the "
+        "machine-wide average"),
+    "adaptive-routing": (
+        "§8 extension (modern profile)",
+        "adaptive routing on a full-bisection fat tree spreads balanced "
+        "permutation traffic over redundant paths (~30% discount)"),
 }
 
 

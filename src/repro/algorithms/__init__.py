@@ -3,6 +3,8 @@
 * :mod:`~repro.algorithms.matmul` — 3D matrix multiplication (§4.1);
 * :mod:`~repro.algorithms.bitonic` — Batcher's bitonic sort (§4.2);
 * :mod:`~repro.algorithms.samplesort` — sample sort (§4.3);
+* :mod:`~repro.algorithms.radix` — parallel integer radix sort
+  (extension);
 * :mod:`~repro.algorithms.apsp` — Floyd all-pairs shortest path (§4.4);
 * :mod:`~repro.algorithms.local` — local kernels (radix sort, merges,
   blocked matmul);
@@ -10,7 +12,7 @@
 """
 
 from . import (apsp, bitonic, collectives, local, lu, matmul, primitives,
-               samplesort, stencil)
+               radix, samplesort, stencil)
 
-__all__ = ["matmul", "bitonic", "samplesort", "apsp", "lu", "local",
-           "primitives", "collectives", "stencil"]
+__all__ = ["matmul", "bitonic", "samplesort", "radix", "apsp", "lu",
+           "local", "primitives", "collectives", "stencil"]

@@ -1,0 +1,197 @@
+"""Parallel integer radix sort (scenario extension, after PAPERS.md's
+"Multithreaded Fine-Grained Asynchronous BSP for Integer Sorting").
+
+``N = P * M`` unsigned integer keys, ``M`` per processor.  Unlike sample
+sort there is no sampling phase: the destination bucket of a key is its
+top ``log2 P`` bits, so the counting phase is deterministic and the
+routed key volume per processor depends only on the key *values*, not on
+a sample draw.  Three supersteps:
+
+1. **count** — every processor radix-sorts its keys locally (so the keys
+   headed for each bucket are one contiguous slice) and counts keys per
+   destination digit;
+2. **scan** — the counts go through the multi-scan of §4.3 (two
+   all-to-alls) to produce write offsets and per-bucket totals;
+3. **scatter** — the key slices are routed to their buckets, and each
+   bucket is finished with a *short* local radix sort over the remaining
+   ``key_bits - log2 P`` low bits — the radix trick: the route itself
+   sorted the top digit.
+
+Variants:
+
+``"bsp"``
+    fine-grain routing: every key travels as one word straight to its
+    bucket (the plain BSP cost ``g * M_max + L``), scans as fine-grain
+    supersteps;
+``"bpram"``
+    single-port routing through the two-phase padded grid scheme of
+    §4.3.1 (shared with sample sort), scans via grid transposes.
+
+Both variants need a power-of-two ``P`` (the digit is a bit field);
+``"bpram"`` additionally needs a square ``P`` for the grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from ..machines.base import Machine
+from ..simulator import RunResult, run_spmd, run_spmd_vector
+from ..simulator.context import ProcContext
+from ..simulator.lower import run_lowered
+from ..simulator.vector import VectorContext, resolve_engine
+from .bitonic import _radix_sort_rows
+from .local import radix_sort
+from .primitives import multiscan, multiscan_vector
+from .samplesort import _drain_keys, _grid_route, _grid_route_vector
+
+__all__ = ["run", "radix_sort_program", "radix_sort_vector_program",
+           "VARIANTS"]
+
+VARIANTS = ("bsp", "bpram")
+
+
+def _digit_bits(P: int, key_bits: int) -> int:
+    """``log2 P``, validated: the top digit must fit inside the key."""
+    log_p = P.bit_length() - 1
+    if P <= 0 or P & (P - 1):
+        raise ExperimentError(f"radix sort needs a power-of-two P, got {P}")
+    if log_p >= key_bits:
+        raise ExperimentError(
+            f"radix sort needs log2(P)={log_p} < key_bits={key_bits}")
+    return log_p
+
+
+def radix_sort_program(ctx: ProcContext, keys: np.ndarray, variant: str,
+                       key_bits: int = 32):
+    """SPMD radix sort; returns this processor's sorted bucket."""
+    if variant not in VARIANTS:
+        raise ExperimentError(f"unknown radix sort variant {variant!r}")
+    P, rank = ctx.P, ctx.rank
+    M = keys.size
+    w = ctx.word_bytes
+    log_p = _digit_bits(P, key_bits)
+    shift = key_bits - log_p
+    mode = "bsp" if variant == "bsp" else "bpram"
+
+    # ---- Phase 1: count ----
+    mine = radix_sort(ctx, keys, bits=key_bits,
+                      radix_bits=min(8, key_bits))
+    ctx.charge_compare(M)  # top-digit extraction per key
+    bucket_of = (mine >> np.uint64(shift)).astype(np.int64)
+    counts = np.bincount(bucket_of, minlength=P).astype(np.int64)
+
+    # ---- Phase 2: scan ----
+    offsets, my_total = yield from multiscan(ctx, counts, "scan", mode)
+
+    # ---- Phase 3: scatter ----
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    per_dest = [mine[bounds[j]:bounds[j + 1]] for j in range(P)]
+
+    if variant == "bsp":
+        for s in range(1, P):
+            j = (rank + s) % P
+            if per_dest[j].size:
+                ctx.put(j, per_dest[j], nbytes=per_dest[j].size * w,
+                        count=per_dest[j].size, tag=("keys", rank), step=s)
+        yield ctx.sync("route-keys")
+        received = [p for _, p in _drain_keys(ctx, P)]
+        received.append(per_dest[rank])
+    else:  # bpram: two-phase padded grid routing
+        received = yield from _grid_route(ctx, per_dest, bucket_of, mine)
+
+    bucket = np.concatenate([np.asarray(b, dtype=np.uint64) for b in received]
+                            ) if received else np.empty(0, dtype=np.uint64)
+
+    # The routed keys all share their top digit: only the low
+    # ``key_bits - log2 P`` bits are unsorted, so the finishing sort is a
+    # digit shorter than a full-key sort — the radix win over sample sort.
+    result = radix_sort(ctx, bucket, bits=shift, radix_bits=min(8, shift))
+    return result
+
+
+def radix_sort_vector_program(ctx: VectorContext, all_keys: np.ndarray,
+                              variant: str, key_bits: int = 32):
+    """Lockstep vector port of :func:`radix_sort_program`.
+
+    Keys live in a ``(P, M)`` stack; counts become a ``(P, P)`` matrix
+    through the vector multi-scan, routing is per-step message groups,
+    and — because bucket ``p`` holds exactly the keys whose top digit is
+    ``p``, a contiguous value range — one global key sort split at the
+    per-bucket totals reproduces every rank's sorted bucket bit for bit.
+    """
+    if variant not in VARIANTS:
+        raise ExperimentError(f"unknown radix sort variant {variant!r}")
+    P = ctx.P
+    M = all_keys.shape[1]
+    w = ctx.word_bytes
+    log_p = _digit_bits(P, key_bits)
+    shift = key_bits - log_p
+    mode = "bsp" if variant == "bsp" else "bpram"
+    ranks = ctx.ranks()
+    cache: dict = {"ranks": ranks}  # hoisted group arrays (shared objects)
+
+    # ---- Phase 1: count ----
+    mine = _radix_sort_rows(ctx, all_keys, bits=key_bits,
+                            radix_bits=min(8, key_bits))
+    ctx.charge_compare(ranks, M)
+    bucket_of = (mine >> np.uint64(shift)).astype(np.int64)
+    counts = np.bincount((ranks[:, None] * P + bucket_of).ravel(),
+                         minlength=P * P).reshape(P, P).astype(np.int64)
+
+    # ---- Phase 2: scan ----
+    offsets, totals = yield from multiscan_vector(ctx, counts, "scan",
+                                                 mode, cache)
+
+    # ---- Phase 3: scatter ----
+    if variant == "bsp":
+        for s in range(1, P):
+            dst = (ranks + s) % P
+            sizes = counts[ranks, dst]
+            m = sizes > 0
+            if m.any():
+                ctx.put_group(ranks[m], dst[m], nbytes=sizes[m] * w,
+                              count=sizes[m], step=s)
+        yield ctx.sync("route-keys")
+    else:  # bpram: two-phase padded grid routing
+        yield from _grid_route_vector(ctx, M, cache)
+
+    ctx.charge_sort(ranks, totals, bits=shift, radix_bits=min(8, shift))
+    # Buckets are contiguous value ranges [p << shift, (p+1) << shift):
+    # one global sort split at the totals equals each rank's sorted bucket.
+    srt = np.sort(mine.ravel())
+    bounds = np.concatenate(([0], np.cumsum(totals)))
+    return [srt[bounds[p]:bounds[p + 1]] for p in range(P)]
+
+
+def run(machine: Machine, M: int, *, variant: str = "bpram",
+        P: int | None = None, seed: int = 0, key_bits: int = 32,
+        engine: str = "auto") -> RunResult:
+    """Radix-sort ``P * M`` random keys on ``machine``."""
+    P = P or machine.P
+    rng = np.random.default_rng(seed)
+    all_keys = rng.integers(0, 1 << key_bits, size=(P, M), dtype=np.uint64)
+
+    eng = resolve_engine(engine)
+    if eng == "ir":
+        result = run_lowered(machine, radix_sort_vector_program,
+                             all_keys, variant, key_bits=key_bits, P=P,
+                             label=f"radix-{variant}-M{M}",
+                             algorithm="radix",
+                             key_params={"M": M, "variant": variant,
+                                         "seed": seed,
+                                         "key_bits": key_bits})
+    elif eng == "vector":
+        result = run_spmd_vector(machine, radix_sort_vector_program,
+                                 all_keys, variant, key_bits=key_bits, P=P,
+                                 label=f"radix-{variant}-M{M}")
+    else:
+        def program(ctx: ProcContext):
+            return radix_sort_program(ctx, all_keys[ctx.rank], variant,
+                                      key_bits=key_bits)
+
+        result = run_spmd(machine, program, P=P,
+                          label=f"radix-{variant}-M{M}")
+    result.inputs = all_keys  # type: ignore[attr-defined]
+    return result

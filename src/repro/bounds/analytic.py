@@ -20,7 +20,8 @@ local at the start, hence it must *receive* at least
 ``3 * (F / P)**(2/3) - R`` words.  The per-algorithm ``F`` and ``R``
 are documented in docs/BOUNDS.md and encoded in :func:`cell_bound`.
 
-**Counting bound** (bitonic sort, sample sort).  Every processor starts
+**Counting bound** (bitonic sort, sample sort, radix sort).  Every
+processor starts
 and ends with ``M`` of the ``P * M`` keys.  For uniform random inputs
 a ``1 / P`` fraction of a processor's final keys originate locally in
 expectation, so some processor receives at least ``M - ceil(M / P)``
@@ -109,8 +110,8 @@ def cell_bound(cell, n: int, P: int) -> dict:
       factorisation is in place, R = 2 n^2 / P (matrix + result share).
     - ``apsp`` (Floyd): F = n^3 min-plus products over one in-place
       distance matrix read and written, R = 2 n^2 / P.
-    - ``bitonic`` / ``samplesort``: counting bound with M = n keys
-      per processor.
+    - ``bitonic`` / ``samplesort`` / ``radix``: counting bound with
+      M = n keys per processor.
     """
     alg = cell.algorithm
     if alg == "matmul":
@@ -122,6 +123,6 @@ def cell_bound(cell, n: int, P: int) -> dict:
     if alg == "apsp":
         return matmul_family_bound(flops=float(n) ** 3,
                                    resident_words=2.0 * n * n / P, P=P)
-    if alg in ("bitonic", "samplesort"):
+    if alg in ("bitonic", "samplesort", "radix"):
         return counting_bound(keys_per_proc=n, P=P)
     raise BoundsError(f"no lower bound known for algorithm {alg!r}")

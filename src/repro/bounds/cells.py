@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..algorithms import apsp, bitonic, lu, matmul, samplesort
+from ..algorithms import apsp, bitonic, lu, matmul, radix, samplesort
 from ..core.errors import BoundsError
 
 __all__ = [
@@ -66,6 +66,10 @@ _CELLS = (
               "counting", base=1024, multiple=256, minimum=256),
     BoundCell("samplesort/gcel", "samplesort", "bpram", "gcel",
               "counting", base=256, multiple=64, minimum=64),
+    BoundCell("radix/gcel", "radix", "bpram", "gcel",
+              "counting", base=256, multiple=64, minimum=64),
+    BoundCell("radix/modern", "radix", "bpram", "modern",
+              "counting", base=1024, multiple=256, minimum=256),
 )
 
 BOUND_CELLS: dict[str, BoundCell] = {c.name: c for c in _CELLS}
@@ -81,6 +85,7 @@ SCOREBOARD_BOUND_CELLS: dict[str, str] = {
     "bitonic": "bitonic/maspar",
     "bitonic-blk": "bitonic-blk/gcel",
     "apsp": "apsp/gcel",
+    "radix": "radix/modern",
 }
 
 
@@ -116,6 +121,9 @@ def cell_key_params(cell: BoundCell, n: int, seed: int) -> dict:
     if alg == "samplesort":
         return {"M": n, "variant": cell.variant, "oversample": 32,
                 "seed": seed, "key_bits": 32}
+    if alg == "radix":
+        return {"M": n, "variant": cell.variant, "seed": seed,
+                "key_bits": 32}
     raise BoundsError(f"unknown algorithm {alg!r}")
 
 
@@ -127,6 +135,7 @@ def cell_program(cell: BoundCell):
         "apsp": apsp.apsp_vector_program,
         "bitonic": bitonic.bitonic_vector_program,
         "samplesort": samplesort.sample_sort_vector_program,
+        "radix": radix.radix_sort_vector_program,
     }[cell.algorithm]
 
 
@@ -143,4 +152,6 @@ def cell_run(cell: BoundCell, machine, n: int, seed: int):
         return bitonic.run(machine, n, variant=cell.variant, seed=seed)
     if alg == "samplesort":
         return samplesort.run(machine, n, variant=cell.variant, seed=seed)
+    if alg == "radix":
+        return radix.run(machine, n, variant=cell.variant, seed=seed)
     raise BoundsError(f"unknown algorithm {alg!r}")

@@ -345,12 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
         "attribute",
         help="run a workload and attribute a model's error per superstep")
     at.add_argument("--machine", default="gcel",
-                    choices=["maspar", "gcel", "cm5", "t800"])
+                    choices=["maspar", "gcel", "cm5", "t800", "modern"])
     at.add_argument("--workload", default="apsp",
                     choices=["matmul", "matmul-naive", "bitonic",
-                             "bitonic-blk", "apsp", "lu", "stencil"])
+                             "bitonic-blk", "apsp", "lu", "stencil",
+                             "radix"])
     at.add_argument("--model", default="bsp",
-                    choices=["bsp", "mp-bsp", "mp-bpram", "loggp", "pram"])
+                    choices=["bsp", "mp-bsp", "mp-bpram", "loggp", "pram",
+                             "bsf"])
     at.add_argument("--size", type=int, default=None,
                     help="problem size (default: workload-specific)")
     at.add_argument("--seed", type=int, default=0)
@@ -628,9 +630,10 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 def _cmd_attribute(machine_name: str, workload: str, model_name: str,
                    size: int | None, seed: int) -> int:
     """Run a workload and print the per-superstep error attribution."""
-    from .algorithms import apsp, bitonic, lu, matmul, stencil
+    from .algorithms import apsp, bitonic, lu, matmul, radix, stencil
     from .calibration import calibrate
     from .core.bpram import MPBPRAM
+    from .core.bsf import BSF
     from .core.bsp import BSP
     from .core.logp import LogGP, logp_from_table1
     from .core.mp_bsp import MPBSP
@@ -656,18 +659,27 @@ def _cmd_attribute(machine_name: str, workload: str, model_name: str,
         res = apsp.run(machine, size or 64, seed=seed)
     elif workload == "lu":
         res = lu.run(machine, size or 64, seed=seed)
+    elif workload == "radix":
+        res = radix.run(machine, size or 256, variant="bpram", seed=seed)
     else:  # stencil
         res = stencil.run(machine, size or 64, 8, seed=seed)
 
     models = {"bsp": lambda: BSP(params), "mp-bsp": lambda: MPBSP(params),
               "mp-bpram": lambda: MPBPRAM(params),
               "pram": lambda: PRAM(params),
-              "loggp": lambda: LogGP(params, logp_from_table1(params))}
+              "loggp": lambda: LogGP(params, logp_from_table1(params)),
+              "bsf": lambda: BSF(params)}
     model = models[model_name]()
     rows = attribute_error(res.trace, model)
     print(f"{workload} on {machine_name}, priced by {model_name} "
           f"(calibrated parameters)\n")
     print(render_attribution(rows))
+    if isinstance(model, BSF):
+        p_max = model.p_max(res.trace)
+        print(f"\nBSF scalability bound: P_max = "
+              f"sqrt(t_comp/t_interact) = {p_max:,.1f} "
+              f"(trace farm size P = {res.trace.P}) — beyond P_max "
+              f"workers, adding hardware slows the farm down")
     return 0
 
 

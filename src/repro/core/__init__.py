@@ -15,6 +15,7 @@ Public surface:
 
 from .base import CostModel
 from .bpram import MPBPRAM
+from .bsf import BSF
 from .bsp import BSP
 from .ebsp import EBSP, LocalityAwareBSP, ScatterAwareBSP
 from .logp import LogGP, LogP, LogPParams, logp_from_table1
@@ -50,6 +51,7 @@ __all__ = [
     "BSP",
     "MPBSP",
     "MPBPRAM",
+    "BSF",
     "EBSP",
     "ScatterAwareBSP",
     "LocalityAwareBSP",

@@ -24,7 +24,7 @@ Runner = Callable[..., ExperimentResult]
 _REGISTRY: dict[str, "Experiment"] = {}
 
 #: every valid value of ``Experiment.machines`` entries.
-KNOWN_MACHINES = ("maspar", "gcel", "cm5", "t800")
+KNOWN_MACHINES = ("maspar", "gcel", "cm5", "t800", "modern")
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,7 @@ def _load_all() -> None:
         extensions,
         matmul_figs,
         apsp_figs,
+        radix_figs,
         sorting_figs,
         library_figs,
         table1_exp,

@@ -10,7 +10,7 @@ the paper first determines Table 1 (Section 3) and then predicts with it
 from __future__ import annotations
 
 from ..calibration.table1 import Calibration, calibration_for
-from ..machines import CM5, GCel, MasParMP1, T800Grid
+from ..machines import CM5, GCel, MasParMP1, ModernCluster, T800Grid
 from ..machines.base import Machine
 
 __all__ = ["machine_for", "calibrated", "scaled_sizes"]
@@ -26,6 +26,8 @@ def machine_for(name: str, *, P: int | None = None, seed: int = 0) -> Machine:
         return CM5(P=P or 64, seed=seed)
     if name == "t800":
         return T800Grid(P=P or 64, seed=seed)
+    if name == "modern":
+        return ModernCluster(P=P or 256, seed=seed)
     raise ValueError(f"unknown machine {name!r}")
 
 

@@ -4,20 +4,23 @@ from .base import Machine
 from .cm5 import CM5
 from .gcel import GCel
 from .maspar import MasParMP1
+from .modern import ModernCluster
 from .t800 import T800Grid
 
 __all__ = ["Machine", "MasParMP1", "GCel", "CM5", "T800Grid",
-           "make_machine", "MACHINES", "machine_catalog"]
+           "ModernCluster", "make_machine", "MACHINES", "machine_catalog"]
 
 MACHINES = {
     "maspar": MasParMP1,
     "gcel": GCel,
     "cm5": CM5,
     "t800": T800Grid,
+    "modern": ModernCluster,
 }
 
 #: default partition size of each platform (the paper's configurations).
-DEFAULT_P = {"maspar": 1024, "gcel": 64, "cm5": 64, "t800": 64}
+DEFAULT_P = {"maspar": 1024, "gcel": 64, "cm5": 64, "t800": 64,
+             "modern": 256}
 
 #: one-line behavioural summary per platform (shared by ``repro
 #: machines`` and the service's ``GET /machines``).
@@ -34,6 +37,10 @@ BLURBS = {
     "t800": "64-node T800 grid under native Parix (the authors' "
             "earlier study [15]); store-and-forward per-hop costs "
             "make locality visible (extension)",
+    "modern": "256-node fat-tree cluster, ~100 Gbit/s kernel-bypass "
+              "links, wide-SIMD nodes; overhead-bound fine-grain "
+              "traffic, incast collapse, adaptive-routing discount "
+              "on permutations (extension)",
 }
 
 

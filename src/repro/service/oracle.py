@@ -31,10 +31,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..algorithms import apsp, bitonic, lu, matmul, samplesort, stencil
+from ..algorithms import apsp, bitonic, lu, matmul, radix, samplesort, stencil
 from ..calibration.table1 import Calibration
 from ..core.base import CostModel
 from ..core.bpram import MPBPRAM
+from ..core.bsf import BSF
 from ..core.bsp import BSP
 from ..core.ebsp import EBSP
 from ..core.errors import ReproError
@@ -78,6 +79,8 @@ ALGORITHMS: dict[str, tuple[int, object]] = {
     "samplesort": (256, lambda m, n, s: samplesort.run(m, n,
                                                        variant="bpram",
                                                        seed=s)),
+    "radix": (256, lambda m, n, s: radix.run(m, n, variant="bpram",
+                                             seed=s)),
     "apsp": (64, lambda m, n, s: apsp.run(m, n, seed=s)),
     "lu": (64, lambda m, n, s: lu.run(m, n, seed=s)),
     "stencil": (64, lambda m, n, s: stencil.run(m, n, 8, seed=s)),
@@ -96,6 +99,8 @@ def _build_model(name: str, cal: Calibration) -> CostModel:
         return PRAM(params)
     if name == "loggp":
         return LogGP(params, logp_from_table1(params))
+    if name == "bsf":
+        return BSF(params)
     if name == "e-bsp":
         if cal.unb is None:
             raise OracleError(
@@ -106,7 +111,7 @@ def _build_model(name: str, cal: Calibration) -> CostModel:
 
 
 #: model names ``POST /predict`` accepts (e-bsp is maspar-only).
-MODELS = ("bsp", "mp-bsp", "mp-bpram", "pram", "loggp", "e-bsp")
+MODELS = ("bsp", "mp-bsp", "mp-bpram", "pram", "loggp", "bsf", "e-bsp")
 
 
 def default_size(algorithm: str) -> int:

@@ -15,10 +15,11 @@ from typing import Callable
 
 import numpy as np
 
-from ..algorithms import apsp, bitonic, matmul
+from ..algorithms import apsp, bitonic, matmul, radix
 from ..calibration.table1 import Calibration, calibrate
 from ..core.base import CostModel
 from ..core.bpram import MPBPRAM
+from ..core.bsf import BSF
 from ..core.bsp import BSP
 from ..core.ebsp import EBSP
 from ..core.logp import LogGP, logp_from_table1
@@ -83,10 +84,12 @@ class Scoreboard:
     def worst_model(self) -> str:
         """The model with the largest mean |error|.
 
-        Instructively, this is usually *not* PRAM: a fine-grain
-        single-port model applied to a block-transfer workload (MP-BSP
-        on the GCel) overcharges by two orders of magnitude, worse than
-        ignoring communication altogether.
+        Instructively, this is *not* PRAM: applying a more restrictive
+        communication abstraction to the wrong machine overcharges far
+        worse than ignoring communication altogether — MP-BSP on the
+        block-transfer GCel by two orders of magnitude, and BSF (which
+        relays every transfer through a master) by four to six on every
+        direct-network machine.
         """
         means = {m: np.mean([abs(c.error) for c in self.cells
                              if c.model == m]) for m in self.models()}
@@ -97,7 +100,8 @@ def _models_for(cal: Calibration) -> list[CostModel]:
     params = cal.params
     out: list[CostModel] = [PRAM(params), BSP(params), MPBSP(params),
                             MPBPRAM(params),
-                            LogGP(params, logp_from_table1(params))]
+                            LogGP(params, logp_from_table1(params)),
+                            BSF(params)]
     if cal.unb is not None:
         out.append(EBSP(params, cal.unb))
     return out
@@ -139,6 +143,10 @@ CELL_SPECS: dict[str, CellSpec] = {spec.name: spec for spec in [
     CellSpec("apsp", "gcel",
              lambda m, scale, seed: apsp.run(
                  m, max(32, int(128 * scale) // 32 * 32), seed=seed)),
+    CellSpec("radix", "modern",
+             lambda m, scale, seed: radix.run(
+                 m, max(256, int(1024 * scale) // 256 * 256),
+                 variant="bpram", seed=seed)),
 ]}
 
 

@@ -18,8 +18,10 @@ SCALES = (0.3, 0.65, 1.0)
 
 #: every default cell has deterministic communication *structure* at
 #: fixed n: the dense algorithms by construction, bitonic because the
-#: network is data-oblivious, and samplesort because its oversampled
-#: splitters balance uniform keys identically at these sizes.
+#: network is data-oblivious, samplesort because its oversampled
+#: splitters balance uniform keys identically at these sizes, and radix
+#: because the §4.3.1 padded grid route fixes the routed volume
+#: regardless of the drawn keys.
 DET_SETTINGS = settings(max_examples=12, deadline=None,
                         suppress_health_check=[
                             HealthCheck.function_scoped_fixture])

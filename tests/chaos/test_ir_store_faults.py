@@ -78,6 +78,39 @@ class TestPoisonedBlobQuarantine:
             assert store.quarantined == 0
         assert not (root / "quarantine").exists()
 
+    def test_poisoned_radix_recording_heals_byte_identically(self, tmp_path):
+        """The healing path is algorithm-agnostic: a flipped byte in a
+        radix-sort recording on the modern profile quarantines, re-records
+        a blob byte-identical to the pristine one, and leaves every
+        simulated observable (time, clocks, output keys) unchanged."""
+        from repro.algorithms import radix
+        from repro.machines import ModernCluster
+
+        def run_radix():
+            return radix.run(ModernCluster(seed=2), 256, P=16, seed=11,
+                             engine="ir")
+
+        root = tmp_path / "ir"
+        with ir_store_scope(IRStore(root)) as store:
+            clean = run_radix()
+            assert store.recorded == 1
+        (path,) = blob_paths(root)
+        pristine = path.read_bytes()
+        mangle(path, "flip")
+
+        with ir_store_scope(IRStore(root)) as store:
+            healed = run_radix()
+            assert store.quarantined == 1
+            assert store.disk_hits == 0
+            assert store.recorded == 1
+        (healed_path,) = blob_paths(root)
+        assert healed_path.read_bytes() == pristine
+
+        assert healed.time_us == clean.time_us
+        assert np.array_equal(healed.clocks, clean.clocks)
+        assert all(np.array_equal(h, c)
+                   for h, c in zip(healed.returns, clean.returns))
+
     def test_unreadable_root_never_fails_a_run(self, tmp_path):
         """Disk persistence is best-effort: a store rooted at a plain
         file (mkdir/read both fail) still serves from memory."""

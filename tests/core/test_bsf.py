@@ -1,0 +1,131 @@
+"""BSF scalability bound: sound against simulated speedup curves.
+
+The BSF model's headline prediction is ``P_max = sqrt(t_comp /
+t_interact)`` — the farm size past which adding workers slows the
+computation down.  These tests pin the bound three ways:
+
+* *internal consistency*: ``p_max`` really is the minimiser of the
+  model's own ``T(P') = t_comp/P' + t_interact * P'`` (exact calculus,
+  checked on real traces at the neighbouring integers);
+* *pessimism soundness*: the master-relay serialisation makes BSF an
+  upper envelope — its predicted time dominates the simulated time at
+  every farm size of a radix-sort P-sweep, so a farm sized by ``P_max``
+  never over-promises against the simulated machines;
+* *metamorphic scaling*: multiplying every compute coefficient by
+  ``k`` scales ``t_comp`` by ``k`` and therefore ``p_max`` by
+  ``sqrt(k)`` — interaction and computation do not leak into each
+  other.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import radix
+from repro.core.bsf import BSF
+from repro.core.params import paper_params
+from repro.machines import MasParMP1
+
+pytestmark = pytest.mark.fast
+
+PARAMS = paper_params("maspar")
+
+#: fixed total problem (N = 4096 keys) spread over growing farms.
+SWEEP_P = (16, 64, 256)
+TOTAL_KEYS = 4096
+
+
+def sweep():
+    out = []
+    for P in SWEEP_P:
+        machine = MasParMP1(P=P, seed=3)
+        res = radix.run(machine, TOTAL_KEYS // P, variant="bsp", P=P,
+                        seed=1)
+        out.append((P, res))
+    return out
+
+
+class TestPmaxIsTheArgmin:
+    def test_minimises_predicted_time_on_real_traces(self):
+        """T(P') is unimodal with its minimum at p_max: both integer
+        neighbours of the bound predict no less, and the curve rises
+        monotonically away from it on each side."""
+        for P, res in sweep():
+            model = BSF(PARAMS.with_updates(P=P))
+            pm = model.p_max(res.trace)
+            assert 0 < pm < float("inf")
+            t_star = model.predicted_time(res.trace, P=pm)
+            lo, hi = math.floor(pm), math.ceil(pm)
+            for cand in {max(1, lo), hi}:
+                assert model.predicted_time(res.trace, P=cand) \
+                    >= t_star * (1 - 1e-12)
+            # walking away from p_max only gets worse
+            samples = [max(1, lo // 4), max(1, lo // 2), hi * 2, hi * 4]
+            prev_left = t_star
+            for cand in (max(1, lo // 2), max(1, lo // 4)):
+                t = model.predicted_time(res.trace, P=cand)
+                assert t >= prev_left * (1 - 1e-12)
+                prev_left = t
+            prev_right = t_star
+            for cand in (hi * 2, hi * 4):
+                t = model.predicted_time(res.trace, P=cand)
+                assert t >= prev_right * (1 - 1e-12)
+                prev_right = t
+            del samples
+
+    def test_interaction_free_trace_scales_forever(self):
+        """No communication -> p_max = inf and T(P') keeps falling."""
+        from repro.algorithms import stencil  # local compute + halos
+
+        machine = MasParMP1(P=16, seed=0)
+        res = stencil.run(machine, 16, 2, seed=0)
+        model = BSF(PARAMS.with_updates(P=16))
+        if model.t_interact(res.trace) == 0.0:
+            assert model.p_max(res.trace) == float("inf")
+        else:  # stencil does communicate: the bound is still finite
+            assert model.p_max(res.trace) > 0
+
+
+class TestPessimismSoundness:
+    def test_predicted_dominates_simulated_at_every_farm_size(self):
+        """Relaying every word through a master cannot beat a direct
+        network: BSF's prediction is an upper envelope of the simulated
+        time at each swept P, so its speedup curve is a lower bound and
+        P_max is a conservative scalability floor."""
+        for P, res in sweep():
+            model = BSF(PARAMS.with_updates(P=P))
+            assert model.predicted_time(res.trace) >= res.time_us, \
+                f"BSF under-predicted at P={P}"
+
+    def test_bound_is_meaningful_for_the_sweep(self):
+        """The sweep's bounds sit inside the swept range (the model
+        does not claim unlimited farm scaling for a sort)."""
+        pms = []
+        for P, res in sweep():
+            model = BSF(PARAMS.with_updates(P=P))
+            pms.append(model.p_max(res.trace))
+        assert all(1.0 < pm < 10 * SWEEP_P[-1] for pm in pms)
+
+
+class TestScalingLaw:
+    @pytest.mark.parametrize("k", [4, 9])
+    def test_compute_scaling_scales_pmax_by_sqrt(self, k):
+        """work x k  =>  t_comp x k  =>  p_max x sqrt(k): the
+        interaction term never sees the compute coefficients.  (Traces
+        carry a sliver of constant-time Generic bookkeeping that no
+        coefficient scales, hence the 1e-3 tolerance, not exactness.)"""
+        machine = MasParMP1(P=16, seed=3)
+        res = radix.run(machine, 256, variant="bsp", P=16, seed=1)
+        base = BSF(PARAMS.with_updates(P=16))
+        heavy = BSF(PARAMS.with_updates(
+            P=16, alpha=PARAMS.alpha * k, beta_copy=PARAMS.beta_copy * k,
+            sort_beta=PARAMS.sort_beta * k,
+            sort_gamma=PARAMS.sort_gamma * k,
+            merge_alpha=PARAMS.merge_alpha * k))
+        assert math.isclose(heavy.t_comp(res.trace),
+                            k * base.t_comp(res.trace), rel_tol=1e-3)
+        assert math.isclose(heavy.t_interact(res.trace),
+                            base.t_interact(res.trace), rel_tol=1e-12)
+        assert math.isclose(heavy.p_max(res.trace),
+                            math.sqrt(k) * base.p_max(res.trace),
+                            rel_tol=1e-3)

@@ -25,6 +25,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bpram import MPBPRAM
+from repro.core.bsf import BSF
 from repro.core.bsp import BSP
 from repro.core.ebsp import EBSP
 from repro.core.params import (
@@ -59,7 +60,7 @@ def phase_of(P, groups, k=1) -> CommPhase:
 
 
 def models(params=PARAMS):
-    return [BSP(params), EBSP(params, UNB), MPBPRAM(params)]
+    return [BSP(params), EBSP(params, UNB), MPBPRAM(params), BSF(params)]
 
 
 class TestMonotonicity:
@@ -156,6 +157,56 @@ class TestScalingLaws:
         law = UnbalancedCost(a=0.84, b=11.8, c=73.3)
         assert law(active) == 0.84 * active + 11.8 * math.sqrt(active) \
             + 73.3
+
+
+class TestBSFLaws:
+    """The master-worker model's own metamorphic signature."""
+
+    @given(send_sets)
+    @SETTINGS
+    def test_doubling_g_doubles_everything_but_latency(self, case):
+        """o_master defaults to g, so the whole relay term scales with
+        g: cost(2g) - L == 2 * (cost(g) - L)."""
+        phase = phase_of(*case)
+        cost = BSF(PARAMS).comm_cost(phase)
+        cost2g = BSF(PARAMS.with_updates(g=PARAMS.g * 2)).comm_cost(phase)
+        assert math.isclose(cost2g - PARAMS.L, 2 * (cost - PARAMS.L),
+                            rel_tol=1e-12)
+
+    @given(send_sets)
+    @SETTINGS
+    def test_relay_is_homogeneous_in_multiplicity(self, case):
+        """k-fold multiplicity scales both words and message handling
+        k-fold: the master has no economy of scale."""
+        P, groups = case
+        base = BSF(PARAMS).comm_cost(phase_of(P, groups))
+        quad = BSF(PARAMS).comm_cost(phase_of(P, groups, k=4))
+        assert math.isclose(quad - PARAMS.L, 4 * (base - PARAMS.L),
+                            rel_tol=1e-12)
+
+    @given(send_sets)
+    @SETTINGS
+    def test_pattern_blindness(self, case):
+        """BSF's defining property: every transfer crosses the star
+        through the master, so rewriting all destinations to one hot
+        receiver changes nothing — unlike every direct-network model."""
+        P, groups = case
+        incast = [(s, 0, c, b) for s, d, c, b in groups]
+        assert BSF(PARAMS).comm_cost(phase_of(P, groups)) \
+            == BSF(PARAMS).comm_cost(phase_of(P, incast))
+
+    @given(send_sets)
+    @SETTINGS
+    def test_separate_o_master_decomposes(self, case):
+        """cost - L splits exactly into the word term (o_master=0) and
+        the handling term (the o_master share alone)."""
+        phase = phase_of(*case)
+        full = BSF(PARAMS).comm_cost(phase)
+        words_only = BSF(PARAMS, o_master=0.0).comm_cost(phase)
+        handling = 2.0 * PARAMS.g * float(phase.count.sum())
+        assert math.isclose(full - PARAMS.L,
+                            (words_only - PARAMS.L) + handling,
+                            rel_tol=1e-12)
 
 
 class TestPermutationInvariance:

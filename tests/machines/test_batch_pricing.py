@@ -20,17 +20,18 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import (BSP, EBSP, LocalityAwareBSP, MPBPRAM, MPBSP,
+from repro.core import (BSF, BSP, EBSP, LocalityAwareBSP, MPBPRAM, MPBSP,
                         ScatterAwareBSP, paper_params)
 from repro.core.params import UnbalancedCost
 from repro.core.relations import CommPhase
-from repro.machines import CM5, GCel, MasParMP1, T800Grid
+from repro.machines import CM5, GCel, MasParMP1, ModernCluster, T800Grid
 
 MACHINES = {
     "maspar": MasParMP1,
     "gcel": GCel,
     "cm5": CM5,
     "t800": T800Grid,
+    "modern": ModernCluster,
 }
 
 
@@ -72,7 +73,7 @@ def all_models(params):
     unb = UnbalancedCost(a=0.84, b=11.8, c=73.3)
     side = math.isqrt(params.P)
     models = [BSP(params), MPBSP(params), MPBPRAM(params),
-              EBSP(params, unb),
+              EBSP(params, unb), BSF(params),
               ScatterAwareBSP(params, g_scatter=params.g / 2)]
     if side * side == params.P:
         models.append(LocalityAwareBSP(params, side=side, g0=0.1,

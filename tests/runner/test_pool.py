@@ -18,7 +18,8 @@ class TestResolveIds:
     def test_all_expands_to_registry(self):
         ids = resolve_ids(["all"])
         assert "fig1" in ids and "table1" in ids and "ext-lu" in ids
-        assert len(ids) == 33
+        assert "ext-radix" in ids and "ext-modern" in ids
+        assert len(ids) == 35
 
     def test_duplicates_dropped_order_kept(self):
         assert resolve_ids(["fig2", "fig1", "fig2"]) == ["fig2", "fig1"]

@@ -83,4 +83,19 @@ class TestValidation:
         bnd = doc["bounds"]
         assert "apsp/gcel" in bnd["cells"]
         assert "bitonic/maspar" in bnd["cells"]
+        assert "radix/gcel" in bnd["cells"]
+        assert "radix/modern" in bnd["cells"]
         assert bnd["default_threshold"] == 8.0
+
+
+class TestRadixCells:
+    def test_radix_cell_served_equals_offline(self, service_thread):
+        doc = {"cells": ["radix/gcel"], "scale": 0.3, "seed": 0}
+        status, body, _ = http(service_thread.port, "POST", "/bounds", doc,
+                               timeout=300.0)
+        assert status == 200
+        assert body == offline(doc)
+        row = body["ranking"][0]
+        assert row["cell"] == "radix/gcel"
+        assert row["family"] == "counting"
+        assert row["ratio"] >= 1.0  # sound: measured >= bound

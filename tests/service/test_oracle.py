@@ -81,8 +81,8 @@ class TestCompareOffline:
         errors = [abs(c["error"]) for c in out["ranking"]]
         assert errors == sorted(errors)
         assert out["best_model"] == out["ranking"][0]["model"]
-        # e-bsp is maspar-only, so 5 models price the gcel
-        assert len(out["ranking"]) == 5
+        # e-bsp is maspar-only, so 6 models price the gcel
+        assert len(out["ranking"]) == 6
         assert out["measured_us"] > 0
 
     def test_maspar_includes_ebsp(self):
@@ -110,6 +110,8 @@ class TestEvaluateBatchEquivalence:
         ("cm5", "mp-bsp", "matmul-naive", 64),
         ("cm5", "mp-bpram", "stencil", 32),
         ("maspar", "e-bsp", "bitonic", 16),
+        ("modern", "bsf", "radix", 256),
+        ("gcel", "bsf", "radix", 64),
     ]
 
     def test_mixed_batch_bit_identical_to_offline(self):
@@ -165,4 +167,4 @@ class TestRegistries:
 
     def test_model_list_is_stable(self):
         assert set(MODELS) == {"bsp", "mp-bsp", "mp-bpram", "pram",
-                               "loggp", "e-bsp"}
+                               "loggp", "bsf", "e-bsp"}

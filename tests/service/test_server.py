@@ -25,7 +25,7 @@ class TestHealthAndCatalogues:
         status, doc, _ = http(service_thread.port, "GET", "/machines")
         assert status == 200
         names = {m["name"] for m in doc["machines"]}
-        assert {"maspar", "gcel", "cm5", "t800"} <= names
+        assert {"maspar", "gcel", "cm5", "t800", "modern"} <= names
         for m in doc["machines"]:
             assert m["default_P"] > 0
             assert isinstance(m["simd"], bool)
@@ -34,7 +34,9 @@ class TestHealthAndCatalogues:
         status, doc, _ = http(service_thread.port, "GET", "/capabilities")
         assert status == 200
         assert "bsp" in doc["models"] and "e-bsp" in doc["models"]
+        assert "bsf" in doc["models"]
         assert doc["algorithms"]["bitonic"]["default_size"] > 0
+        assert doc["algorithms"]["radix"]["default_size"] > 0
         assert doc["engines"] == ["auto", "generator", "vector", "ir"]
 
     def test_experiments_index(self, service_thread):
@@ -98,6 +100,17 @@ class TestPredict:
             assert status == 200, body
             assert body == json.loads(json.dumps(predict_offline(doc))), doc
 
+    def test_new_scenario_axes_bit_identical_to_offline(self,
+                                                        service_thread):
+        """All three new axes through one request: the radix workload on
+        the modern profile priced by BSF must serve the offline bytes."""
+        doc = {"machine": "modern", "model": "bsf", "algorithm": "radix",
+               "size": 128}
+        status, served, _ = http(service_thread.port, "POST", "/predict",
+                                 doc, timeout=300.0)
+        assert status == 200
+        assert served == json.loads(json.dumps(predict_offline(doc)))
+
     def test_bad_json_is_400(self, service_thread):
         req = urllib.request.Request(
             f"http://127.0.0.1:{service_thread.port}/predict",
@@ -130,6 +143,14 @@ class TestCompare:
         assert served == json.loads(json.dumps(compare_offline(doc)))
         errors = [abs(c["error"]) for c in served["ranking"]]
         assert errors == sorted(errors)
+
+    def test_radix_on_modern_includes_bsf(self, service_thread):
+        doc = {"machine": "modern", "algorithm": "radix", "size": 128}
+        status, served, _ = http(service_thread.port, "POST", "/compare",
+                                 doc, timeout=300.0)
+        assert status == 200
+        assert served == json.loads(json.dumps(compare_offline(doc)))
+        assert "bsf" in [c["model"] for c in served["ranking"]]
 
 
 class TestProtocol:

@@ -19,8 +19,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import apsp, bitonic, lu, matmul, samplesort
-from repro.machines import CM5, GCel, MasParMP1, T800Grid
+from repro.algorithms import apsp, bitonic, lu, matmul, radix, samplesort
+from repro.machines import CM5, GCel, MasParMP1, ModernCluster, T800Grid
 from repro.simulator.ir import (IR_SCHEMA, IRStore, StepProgram, _decode_blob,
                                 _encode_blob, build_program, ir_key,
                                 ir_store_scope)
@@ -34,6 +34,7 @@ MACHINES = {
     "gcel": GCel,
     "cm5": CM5,
     "t800": T800Grid,
+    "modern": ModernCluster,
 }
 
 # One representative configuration per algorithm, sized for test speed.
@@ -44,6 +45,7 @@ CASES = {
     "apsp": lambda m, e: apsp.run(m, 16, P=16, seed=11, engine=e),
     "samplesort": lambda m, e: samplesort.run(m, 256, P=16, seed=13,
                                               engine=e),
+    "radix": lambda m, e: radix.run(m, 256, P=16, seed=17, engine=e),
 }
 
 
@@ -118,6 +120,35 @@ class TestRecordOncePriceMany:
             assert store2.recorded == 0
             # reading .returns forces the data-only pass
             assert_runs_identical(g, i)
+
+    def test_radix_disk_hit_on_modern(self, tmp_path):
+        """The new scenario axes together: a radix recording made on the
+        fat-tree profile replays bit-identically from disk."""
+        g = run_engine("modern", "radix", "generator")
+        with ir_store_scope(IRStore(tmp_path)) as store:
+            run_engine("modern", "radix", "ir")
+            assert store.recorded == 1
+        with ir_store_scope(IRStore(tmp_path)) as store2:
+            i = run_engine("modern", "radix", "ir")
+            assert store2.disk_hits == 1
+            assert store2.recorded == 0
+            assert_runs_identical(g, i)
+
+    def test_radix_ablation_subsets_on_modern(self):
+        """One radix recording prices every (seed, disable) combination
+        of the modern profile's phenomena — each replay bit-identical to
+        its generator run (scalar pricing) despite the batched pricer."""
+        subsets = [(), ("incast-collapse",), ("adaptive-routing",),
+                   ("incast-collapse", "adaptive-routing")]
+        with ir_store_scope(IRStore()) as store:
+            for seed in (0, 9):
+                for disable in subsets:
+                    g = run_engine("modern", "radix", "generator",
+                                   seed=seed, disable=disable)
+                    i = run_engine("modern", "radix", "ir",
+                                   seed=seed, disable=disable)
+                    assert_runs_identical(g, i)
+            assert store.recorded == 1
 
 
 class TestLazyReturns:

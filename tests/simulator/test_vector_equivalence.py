@@ -15,9 +15,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import apsp, bitonic, lu, matmul, samplesort
+from repro.algorithms import apsp, bitonic, lu, matmul, radix, samplesort
 from repro.core.errors import SimulationError
-from repro.machines import CM5, GCel, MasParMP1, T800Grid
+from repro.machines import CM5, GCel, MasParMP1, ModernCluster, T800Grid
 from repro.simulator.vector import resolve_engine
 
 MACHINES = {
@@ -25,6 +25,7 @@ MACHINES = {
     "gcel": GCel,
     "cm5": CM5,
     "t800": T800Grid,
+    "modern": ModernCluster,
 }
 
 
@@ -60,7 +61,8 @@ def both(run_fn, machine_name, machine_seed, *args, **kwargs):
 
 
 class TestApspEquivalence:
-    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("machine",
+                             ["maspar", "gcel", "cm5", "t800", "modern"])
     @pytest.mark.parametrize("N,P", [(32, 16), (16, 64)])
     def test_machines_and_regimes(self, machine, N, P):
         # (32, 16): M >= sqrt(P) scatter+allgather regime;
@@ -92,7 +94,8 @@ class TestApspEquivalence:
 
 
 class TestBitonicEquivalence:
-    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("machine",
+                             ["maspar", "gcel", "cm5", "t800", "modern"])
     @pytest.mark.parametrize("variant", bitonic.VARIANTS)
     def test_machines_and_variants(self, machine, variant):
         g, v = both(bitonic.run, machine, 11, 24, variant=variant, P=64,
@@ -164,7 +167,8 @@ class TestMatmulEquivalence:
 
 
 class TestSampleSortEquivalence:
-    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("machine",
+                             ["maspar", "gcel", "cm5", "t800", "modern"])
     @pytest.mark.parametrize("variant", samplesort.VARIANTS)
     def test_machines_and_variants(self, machine, variant):
         g, v = both(samplesort.run, machine, 17, 64, variant=variant,
@@ -206,8 +210,61 @@ class TestSampleSortEquivalence:
         assert_runs_identical(g, v)
 
 
+class TestRadixEquivalence:
+    @pytest.mark.parametrize("machine",
+                             ["maspar", "gcel", "cm5", "t800", "modern"])
+    @pytest.mark.parametrize("variant", radix.VARIANTS)
+    def test_machines_and_variants(self, machine, variant):
+        g, v = both(radix.run, machine, 11, 64, variant=variant, P=16,
+                    seed=2)
+        assert_runs_identical(g, v)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_seeds(self, seed):
+        g, v = both(radix.run, "gcel", seed, 96, variant="bpram", P=16,
+                    seed=seed)
+        assert_runs_identical(g, v)
+
+    def test_modern_full_width(self):
+        # the fat-tree profile at its native P: the batched pricer's
+        # padded (phase.P < machine.P) incast/permutation analysis must
+        # agree with the scalar loop bit-for-bit
+        g, v = both(radix.run, "modern", 3, 64, variant="bpram", P=256,
+                    seed=1)
+        assert_runs_identical(g, v)
+
+    def test_narrow_keys(self):
+        # key_bits barely above log2(P): the finishing sort covers only
+        # two low bits
+        g, v = both(radix.run, "cm5", 5, 48, variant="bsp", P=16, seed=4,
+                    key_bits=6)
+        assert_runs_identical(g, v)
+
+    def test_result_is_sorted_permutation(self):
+        v = radix.run(fresh("maspar", 0), 64, variant="bpram", P=16,
+                      seed=9, engine="vector")
+        out = np.concatenate([np.asarray(b).ravel() for b in v.returns])
+        assert np.array_equal(out, np.sort(out))  # globally sorted
+        assert np.array_equal(np.sort(out),
+                              np.sort(np.asarray(v.inputs).ravel()))
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(machine=st.sampled_from(["maspar", "gcel", "modern"]),
+           variant=st.sampled_from(radix.VARIANTS),
+           P=st.sampled_from([4, 16, 64]),
+           M=st.integers(min_value=8, max_value=96),
+           key_bits=st.sampled_from([8, 16, 32]),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_property_sweep(self, machine, variant, P, M, key_bits, seed):
+        g, v = both(radix.run, machine, seed, M, variant=variant, P=P,
+                    seed=seed, key_bits=key_bits)
+        assert_runs_identical(g, v)
+
+
 class TestLuEquivalence:
-    @pytest.mark.parametrize("machine", ["maspar", "gcel", "cm5", "t800"])
+    @pytest.mark.parametrize("machine",
+                             ["maspar", "gcel", "cm5", "t800", "modern"])
     @pytest.mark.parametrize("N,P", [(32, 16), (16, 64)])
     def test_machines_and_regimes(self, machine, N, P):
         # (32, 16): blocks bigger than the grid; (16, 64): 2x2 blocks on

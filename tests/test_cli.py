@@ -147,7 +147,7 @@ class TestJsonOutputs:
         assert main(["machines", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         names = {m["name"] for m in doc["machines"]}
-        assert {"maspar", "gcel", "cm5", "t800"} <= names
+        assert {"maspar", "gcel", "cm5", "t800", "modern"} <= names
         maspar = next(m for m in doc["machines"] if m["name"] == "maspar")
         assert maspar["simd"] is True and maspar["default_P"] == 1024
 
@@ -261,6 +261,8 @@ class TestAttributeCommand:
         ("bitonic-blk", "gcel", "mp-bpram"),
         ("matmul-naive", "cm5", "bsp"),
         ("stencil", "t800", "bsp"),
+        ("radix", "modern", "bsf"),
+        ("radix", "gcel", "mp-bpram"),
     ])
     def test_runs_and_reports(self, capsys, workload, machine, model):
         code = main(["attribute", "--machine", machine, "--workload",
@@ -270,6 +272,8 @@ class TestAttributeCommand:
         assert code == 0
         assert "Model-error attribution" in out
         assert "total" in out
+        # the BSF scalability bound is a first-class prediction
+        assert ("P_max" in out) == (model == "bsf")
 
     def test_bad_choice_rejected(self):
         with pytest.raises(SystemExit):

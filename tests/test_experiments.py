@@ -19,7 +19,7 @@ EXPECTED_IDS = {
     "abl-stagger", "abl-msgsize", "abl-sync", "abl-oversample",
     "abl-layout", "abl-radix",
     "ext-models", "ext-sensitivity", "ext-lu", "ext-primitives",
-    "ext-t800", "ext-misranking",
+    "ext-t800", "ext-misranking", "ext-radix", "ext-modern",
 }
 
 
@@ -47,7 +47,7 @@ class TestRegistry:
         assert "Fig. 12" in exp.paper_ref
 
     def test_every_experiment_declares_machines(self):
-        valid = {"maspar", "gcel", "cm5", "t800"}
+        valid = {"maspar", "gcel", "cm5", "t800", "modern"}
         for exp in all_experiments().values():
             assert exp.machines, f"{exp.id} declares no machines"
             assert set(exp.machines) <= valid, exp.id

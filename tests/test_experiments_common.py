@@ -4,7 +4,7 @@ registry ordering."""
 import pytest
 
 from repro.experiments import base, common
-from repro.machines import CM5, GCel, MasParMP1, T800Grid
+from repro.machines import CM5, GCel, MasParMP1, ModernCluster, T800Grid
 
 
 class TestMachineFor:
@@ -13,9 +13,12 @@ class TestMachineFor:
         assert isinstance(common.machine_for("gcel"), GCel)
         assert isinstance(common.machine_for("cm5"), CM5)
         assert isinstance(common.machine_for("t800"), T800Grid)
+        assert isinstance(common.machine_for("modern"), ModernCluster)
 
     def test_partition_override(self):
         assert common.machine_for("maspar", P=256).P == 256
+        assert common.machine_for("modern").P == 256
+        assert common.machine_for("modern", P=64).P == 64
 
     def test_unknown(self):
         with pytest.raises(ValueError):

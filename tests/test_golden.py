@@ -19,7 +19,7 @@ from repro.runner import ResultCache, experiment_key
 from repro.validation.series import ExperimentResult
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
-GOLDEN_IDS = ["fig1", "fig4", "fig14", "table1"]
+GOLDEN_IDS = ["fig1", "fig4", "fig14", "table1", "ext-radix"]
 #: snapshots owned by other golden suites
 #: (tests/ablation/test_golden.py, tests/bounds/test_golden.py)
 EXTRA_SNAPSHOTS = ["ablate", "bounds"]

@@ -21,7 +21,7 @@ class TestCell:
 class TestScoreboard:
     def test_models_present(self, board):
         models = board.models()
-        for name in ("pram", "bsp", "mp-bsp", "mp-bpram", "loggp"):
+        for name in ("pram", "bsp", "mp-bsp", "mp-bpram", "loggp", "bsf"):
             assert name in models
         assert "e-bsp" in models  # the MasPar row brings it in
 
@@ -29,7 +29,8 @@ class TestScoreboard:
         rows = board.rows()
         assert ("matmul", "cm5") in rows
         assert ("bitonic-blk", "gcel") in rows
-        assert len(rows) == 5
+        assert ("radix", "modern") in rows
+        assert len(rows) == 6
 
     def test_error_lookup(self, board):
         err = board.error("matmul", "cm5", "bsp")
@@ -52,8 +53,20 @@ class TestScoreboard:
         err = board.error("bitonic-blk", "gcel", "mp-bpram")
         assert err is not None and abs(err) < 0.10
 
-    def test_worst_model_is_a_fine_grain_one(self, board):
-        assert board.worst_model() in ("bsp", "mp-bsp")
+    def test_worst_model_serialises_everything(self, board):
+        # BSF relays every transfer through a master: applied to the
+        # direct-network machines it out-errs even the fine-grain models
+        assert board.worst_model() == "bsf"
+
+    def test_fine_grain_models_still_beat_no_model_at_all(self, board):
+        # the pre-BSF observation survives among the direct-network
+        # models: MP-BSP on a block-transfer machine overcharges more
+        # than PRAM's ignore-communication baseline
+        import numpy as np
+        means = {m: np.mean([abs(c.error) for c in board.cells
+                             if c.model == m])
+                 for m in ("pram", "mp-bsp")}
+        assert means["mp-bsp"] > means["pram"]
 
 
 class TestRendering:
